@@ -1,0 +1,77 @@
+"""F11 — paper Figs 11-13: intra- vs inter-band correlation structure.
+
+For intra-band CA (n41+n41) and inter-band CA (n41+n25), computes the
+Pearson correlations between each CC's RSRP and each CC's throughput,
+and between the two RSRPs.  Paper: own-channel correlations are strong
+(> 0.6) everywhere; cross-channel correlations stay high intra-band but
+collapse inter-band — the case for per-CC modeling.
+"""
+
+import numpy as np
+
+from repro.analysis import cross_correlations, format_table
+from repro.ran import TraceSimulator
+
+from conftest import run_once
+
+
+def _collect(band_lock, pcell_key, scell_key, scale, seed0):
+    corrs = []
+    for seed in range(scale.seeds):
+        sim = TraceSimulator(
+            "OpZ",
+            scenario="urban",
+            mobility="walking",
+            dt_s=1.0,
+            seed=seed0 + seed,
+            band_lock=band_lock,
+            max_ccs_override=2,
+        )
+        trace = sim.run(scale.duration_s * 2)
+        try:
+            corrs.append(cross_correlations(trace, pcell_key, scell_key))
+        except ValueError:
+            continue
+    return corrs
+
+
+def test_fig11_intra_vs_inter_band_correlations(benchmark, scale, report):
+    def experiment():
+        intra = _collect(["n41@2500", "n41@2600"], "n41@2500", "n41@2600", scale, 700)
+        inter = _collect(["n41@2500", "n25"], "n41@2500", "n25@1900", scale, 800)
+        return intra, inter
+
+    intra, inter = run_once(benchmark, experiment)
+    assert intra and inter, "no overlapping CA activity collected"
+
+    def mean_of(corrs, field):
+        return float(np.mean([getattr(c, field) for c in corrs]))
+
+    fields = [
+        ("PCell RSRP vs PCell Tput", "pcell_rsrp_vs_pcell_tput"),
+        ("SCell RSRP vs SCell Tput", "scell_rsrp_vs_scell_tput"),
+        ("PCell RSRP vs SCell Tput", "pcell_rsrp_vs_scell_tput"),
+        ("SCell RSRP vs PCell Tput", "scell_rsrp_vs_pcell_tput"),
+        ("PCell RSRP vs SCell RSRP (Fig 13)", "pcell_rsrp_vs_scell_rsrp"),
+    ]
+    report.emit("=== Figs 11-13: Pearson correlations, intra- vs inter-band CA ===")
+    rows = [
+        [label, mean_of(intra, field), mean_of(inter, field)]
+        for label, field in fields
+    ]
+    report.emit(
+        format_table(["Correlation", "Intra (n41+n41)", "Inter (n41+n25)"], rows, float_fmt="{:+.2f}")
+    )
+
+    intra_rsrp = mean_of(intra, "pcell_rsrp_vs_scell_rsrp")
+    inter_rsrp = mean_of(inter, "pcell_rsrp_vs_scell_rsrp")
+    report.emit("")
+    report.emit(
+        f"Shape check: intra-band RSRPs track each other (r={intra_rsrp:+.2f})"
+        f" far more than inter-band (r={inter_rsrp:+.2f}) — Fig 13."
+    )
+    assert intra_rsrp > inter_rsrp + 0.1
+    # cross-channel predictions degrade more inter-band than intra-band
+    intra_cross = mean_of(intra, "pcell_rsrp_vs_scell_tput")
+    inter_cross = mean_of(inter, "pcell_rsrp_vs_scell_tput")
+    assert intra_cross > inter_cross - 0.05

@@ -1,0 +1,120 @@
+"""F14 — paper Figs 14-15: the same channel behaves differently under CA.
+
+Fig 14: n25 with and without CA at the same spot — similar RSRP/CQI,
+but fewer MIMO layers (power reallocation) and roughly half the
+throughput under CA.
+
+Fig 15: the same n41 (40 MHz) SCell inside different CA combinations —
+same RSRP/CQI and layers, but different #RB (scheduler throttling of
+wide marginal aggregations).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.ran import simulate_stationary_ideal
+
+from conftest import run_once
+
+
+def _cc_stats(traces, channel_key):
+    rsrp, cqi, layers, rbs, tput = [], [], [], [], []
+    for trace in traces:
+        for rec in trace.records:
+            for cc in rec.ccs:
+                if cc.active and cc.channel_key == channel_key:
+                    rsrp.append(cc.rsrp_dbm)
+                    cqi.append(cc.cqi)
+                    layers.append(cc.n_layers)
+                    rbs.append(cc.n_rb)
+                    tput.append(cc.tput_mbps)
+    if not tput:
+        raise AssertionError(f"channel {channel_key} never active")
+    return {
+        "rsrp": float(np.mean(rsrp)),
+        "cqi": float(np.mean(cqi)),
+        "layers": float(np.mean(layers)),
+        "rb": float(np.mean(rbs)),
+        "tput": float(np.mean(tput)),
+    }
+
+
+def test_fig14_same_channel_with_without_ca(benchmark, scale, report):
+    def experiment():
+        duration = min(scale.duration_s / 2, 30.0)
+        alone, in_ca = [], []
+        for seed in range(scale.seeds):
+            alone.append(
+                simulate_stationary_ideal(
+                    "OpZ", duration_s=duration, seed=900 + seed, ca_enabled=False, band_lock=["n25"]
+                )
+            )
+            in_ca.append(
+                simulate_stationary_ideal(
+                    "OpZ",
+                    duration_s=duration,
+                    seed=900 + seed,
+                    band_lock=["n41@2500", "n25", "n41@2600"],
+                    max_ccs_override=3,
+                )
+            )
+        return _cc_stats(alone, "n25@1900"), _cc_stats(in_ca, "n25@1900")
+
+    alone, in_ca = run_once(benchmark, experiment)
+
+    report.emit("=== Fig 14: n25 alone vs inside n41+n25+n41 CA ===")
+    rows = [
+        [field, alone[field], in_ca[field]]
+        for field in ("rsrp", "cqi", "layers", "rb", "tput")
+    ]
+    report.emit(format_table(["Metric", "NonCA n25", "CA n25"], rows, float_fmt="{:.1f}"))
+    report.emit("")
+    report.emit(
+        "Shape check (paper Fig 14): RSRP/CQI similar, MIMO layers cut"
+        f" ({alone['layers']:.1f} -> {in_ca['layers']:.1f}),"
+        f" throughput roughly halved ({alone['tput']:.0f} -> {in_ca['tput']:.0f} Mbps)."
+    )
+    assert abs(alone["rsrp"] - in_ca["rsrp"]) < 6.0, "RSRP should be comparable"
+    assert in_ca["layers"] < alone["layers"], "CA must reduce the n25 MIMO rank"
+    assert in_ca["tput"] < 0.7 * alone["tput"], "CA roughly halves the n25 throughput"
+
+
+def test_fig15_same_scell_in_different_combos(benchmark, scale, report):
+    def experiment():
+        duration = min(scale.duration_s / 2, 30.0)
+        narrow, wide = [], []
+        for seed in range(scale.seeds):
+            # n41b as SCell in a 2CC combo (100+40 MHz aggregate)
+            narrow.append(
+                simulate_stationary_ideal(
+                    "OpZ",
+                    duration_s=duration,
+                    seed=950 + seed,
+                    band_lock=["n41@2500", "n41@2600"],
+                    max_ccs_override=2,
+                )
+            )
+            # n41b as the marginal SCell of a 4CC combo (180 MHz aggregate)
+            wide.append(
+                simulate_stationary_ideal(
+                    "OpZ", duration_s=duration, seed=950 + seed, max_ccs_override=4
+                )
+            )
+        return _cc_stats(narrow, "n41@2600"), _cc_stats(wide, "n41@2600")
+
+    narrow, wide = run_once(benchmark, experiment)
+
+    report.emit("=== Fig 15: the n41 (40 MHz) SCell in different CA combos ===")
+    rows = [
+        [field, narrow[field], wide[field]]
+        for field in ("rsrp", "cqi", "layers", "rb", "tput")
+    ]
+    report.emit(format_table(["Metric", "2CC combo", "4CC combo"], rows, float_fmt="{:.1f}"))
+    report.emit("")
+    report.emit(
+        "Shape check (paper Fig 15): similar RSRP/CQI, but the marginal"
+        f" SCell gets fewer RBs in the wide combo ({narrow['rb']:.0f} ->"
+        f" {wide['rb']:.0f}) and lower throughput."
+    )
+    assert wide["rb"] < narrow["rb"], "wide aggregation must throttle the marginal SCell's RBs"
+    assert wide["tput"] < narrow["tput"]

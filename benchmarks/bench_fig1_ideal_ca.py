@@ -1,0 +1,71 @@
+"""F1 — paper Fig 1 / Fig 23: CA boosts throughput under ideal conditions.
+
+Sweeps the CC cap for each operator with a stationary line-of-sight UE
+and reports the mean/peak downlink throughput staircase, including the
+mmWave 8CC runs (OpX n260 / OpY n261) and 4G 5CC.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.ran import simulate_stationary_ideal
+
+from conftest import run_once
+
+
+def _sweep(operator, rat, cc_values, scale, band_lock=None, distance_m=60.0):
+    rows = []
+    for k in cc_values:
+        means, peaks = [], []
+        for seed in range(scale.seeds):
+            trace = simulate_stationary_ideal(
+                operator,
+                rat=rat,
+                duration_s=min(scale.duration_s / 2, 30.0),
+                seed=10 * k + seed,
+                max_ccs_override=k,
+                band_lock=band_lock,
+                distance_m=distance_m,
+            )
+            series = trace.throughput_series()
+            means.append(series.mean())
+            peaks.append(series.max())
+        rows.append((k, float(np.mean(means)), float(np.max(peaks))))
+    return rows
+
+
+def test_fig1_ideal_condition_ca_staircase(benchmark, scale, report):
+    def experiment():
+        return {
+            ("OpZ", "5G FR1"): _sweep("OpZ", "5G", [1, 2, 3, 4], scale),
+            ("OpZ", "4G"): _sweep("OpZ", "4G", [1, 3, 5], scale),
+            ("OpY", "5G mmWave"): _sweep("OpY", "5G", [1, 4, 8], scale, band_lock=["n261"], distance_m=40.0),
+            ("OpX", "5G mmWave"): _sweep("OpX", "5G", [1, 4, 8], scale, band_lock=["n260"], distance_m=40.0),
+        }
+
+    results = run_once(benchmark, experiment)
+
+    report.emit("=== Fig 1 / Fig 23: ideal-condition throughput vs #CC ===")
+    rows = []
+    for (operator, label), sweep in results.items():
+        for k, mean, peak in sweep:
+            rows.append([operator, label, k, mean, peak])
+    report.emit(format_table(["Oper.", "Tech", "#CC", "Mean Mbps", "Peak Mbps"], rows, float_fmt="{:.0f}"))
+
+    # shape assertions: the staircase rises, mmWave 8CC is the overall peak
+    fr1 = dict((k, m) for k, m, _ in results[("OpZ", "5G FR1")])
+    # our 1CC baseline is the *best* single carrier (100 MHz n41) under
+    # ideal conditions, so the CA gain is smaller than the paper's ~2x
+    # (whose no-CA baseline reflects typical, not best-case, anchors)
+    assert fr1[4] > 1.15 * fr1[1], "4CC must clearly beat 1CC"
+    mmwave_peak = max(p for _, _, p in results[("OpY", "5G mmWave")])
+    fr1_peak = max(p for _, _, p in results[("OpZ", "5G FR1")])
+    assert mmwave_peak > fr1_peak, "paper: mmWave 8CC peak (4.1G) > FR1 4CC peak (1.7G)"
+    lte = dict((k, m) for k, m, _ in results[("OpZ", "4G")])
+    assert lte[5] > lte[1], "4G CA staircase must rise"
+    report.emit("")
+    report.emit(
+        f"Shape check: FR1 4CC mean {fr1[4]:.0f} Mbps (paper ~1.5 Gbps); "
+        f"mmWave 8CC peak {mmwave_peak:.0f} Mbps (paper 4.1 Gbps); "
+        f"4G 5CC mean {lte[5]:.0f} Mbps."
+    )

@@ -1,0 +1,57 @@
+"""F6 — paper Fig 6: aggregated throughput is sub-additive.
+
+Runs n41 alone, n25 alone, and n41+n25 CA at the same spot, and
+quantifies how far below the sum of the stand-alone throughputs the
+aggregate lands (the paper observes gaps of up to ~49%).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, subadditivity_ratio
+from repro.ran import simulate_stationary_ideal
+
+from conftest import run_once
+
+
+def test_fig6_ca_subadditivity(benchmark, scale, report):
+    def experiment():
+        alone_n41, alone_n25, together = [], [], []
+        for seed in range(scale.seeds * 2):
+            kwargs = dict(duration_s=min(scale.duration_s / 2, 30.0), seed=400 + seed)
+            alone_n41.append(
+                simulate_stationary_ideal("OpZ", ca_enabled=False, band_lock=["n41@2500"], **kwargs)
+            )
+            alone_n25.append(
+                simulate_stationary_ideal("OpZ", ca_enabled=False, band_lock=["n25"], **kwargs)
+            )
+            together.append(
+                simulate_stationary_ideal(
+                    "OpZ", band_lock=["n41@2500", "n25"], max_ccs_override=2, **kwargs
+                )
+            )
+        return alone_n41, alone_n25, together
+
+    alone_n41, alone_n25, together = run_once(benchmark, experiment)
+
+    n41_mean = float(np.mean([t.throughput_series().mean() for t in alone_n41]))
+    n25_mean = float(np.mean([t.throughput_series().mean() for t in alone_n25]))
+    agg = np.concatenate([t.throughput_series() for t in together])
+    ratio = subadditivity_ratio(agg, [np.array([n41_mean]), np.array([n25_mean])])
+    worst_gap = 1.0 - agg.min() / (n41_mean + n25_mean)
+
+    report.emit("=== Fig 6: n41 / n25 alone vs aggregated (n41+n25) ===")
+    rows = [
+        ["n41 alone", n41_mean],
+        ["n25 alone", n25_mean],
+        ["theoretical sum", n41_mean + n25_mean],
+        ["n41+n25 CA (mean)", float(agg.mean())],
+        ["n41+n25 CA (min)", float(agg.min())],
+    ]
+    report.emit(format_table(["Configuration", "Throughput (Mbps)"], rows, float_fmt="{:.0f}"))
+    report.emit("")
+    report.emit(
+        f"mean shortfall vs sum: {ratio * 100:.0f}%  |  worst instant: "
+        f"{worst_gap * 100:.0f}% below the sum (paper: >= 49% at times)"
+    )
+    assert ratio > 0.0, "aggregate mean must fall below the stand-alone sum"
+    assert worst_gap > 0.2, "instantaneous shortfalls should be substantial"

@@ -1,0 +1,72 @@
+"""F8 — paper Fig 8: ViVo QoE with and without CA (vs ideal ViVo).
+
+Case 1: single 5G channel, standard ViVo (<= 375 Mbps).
+Case 2: up to 4 CCs, scaled-up ViVo (<= 750 Mbps).
+
+The paper's finding: although CA doubles the usable bitrate, the
+*relative* QoE (vs an ideal future-knowing ViVo) gets worse, because
+the stock past-mean estimator cannot track CA-induced variability.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.apps import ViVoConfig, ViVoSimulator, relative_degradation
+from repro.ran import TraceSimulator
+
+from conftest import run_once
+
+
+def _traces(scale, band_lock, max_ccs, seed0):
+    traces = []
+    for seed in range(scale.seeds):
+        sim = TraceSimulator(
+            "OpZ",
+            scenario="urban",
+            mobility="walking",
+            dt_s=0.01,
+            seed=seed0 + seed,
+            band_lock=band_lock,
+            max_ccs_override=max_ccs,
+        )
+        traces.append(sim.run(6.0))
+    return traces
+
+
+def test_fig8_vivo_qoe_with_without_ca(benchmark, scale, report):
+    def experiment():
+        out = {}
+        for label, band_lock, max_ccs, max_rate in (
+            ("no CA", ["n41@2500"], 1, 375.0),
+            ("4CC CA", None, 4, 750.0),
+        ):
+            sim = ViVoSimulator(ViVoConfig(max_bitrate_mbps=max_rate))
+            degradations = []
+            for trace in _traces(scale, band_lock, max_ccs, 1000):
+                tput = trace.throughput_series()
+                ideal = sim.run_ideal(tput, trace.dt_s)
+                stock = sim.run_stock(tput, trace.dt_s)
+                degradations.append(relative_degradation(stock, ideal))
+            out[label] = degradations
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    report.emit("=== Fig 8: stock ViVo QoE loss vs ideal ViVo ===")
+    rows = []
+    means = {}
+    for label, degradations in results.items():
+        quality = float(np.mean([d["quality_drop_pct"] for d in degradations]))
+        stalls = float(np.mean([d["stall_increase_pct"] for d in degradations]))
+        means[label] = (quality, stalls)
+        rows.append([label, quality, stalls])
+    report.emit(format_table(["Case", "Quality drop %", "Stall increase %"], rows, float_fmt="{:+.1f}"))
+
+    report.emit("")
+    report.emit(
+        "Shape check (paper Fig 8): under 4CC CA the stock estimator's"
+        " combined QoE loss is visibly worse than without CA."
+    )
+    no_ca_loss = means["no CA"][0] + max(means["no CA"][1], 0) / 10
+    ca_loss = means["4CC CA"][0] + max(means["4CC CA"][1], 0) / 10
+    assert ca_loss > no_ca_loss - 2.0, "CA should not make naive adaptation easier"

@@ -1,0 +1,36 @@
+"""F9 — paper Fig 9: TBS vs MCS vs resource allocation (2 MIMO layers).
+
+Regenerates the TBS surface from the TS 38.214 computation and verifies
+its monotone structure.  This is a pure-PHY benchmark (no simulation),
+so it also serves as a microbenchmark of the TBS routine.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, tbs_surface
+from repro.ran.phy import SYMBOLS_PER_SLOT, transport_block_size
+
+
+def test_fig9_tbs_surface(benchmark, report):
+    mcs_indices = list(range(0, 28, 3))
+    n_prbs = [10, 25, 50, 100, 180, 273]
+
+    surface = benchmark(lambda: tbs_surface(mcs_indices, n_prbs, n_layers=2))
+
+    report.emit("=== Fig 9: TBS (bits/slot) over MCS x #PRB, 2 MIMO layers ===")
+    rows = [
+        [f"MCS {mcs}"] + [int(surface[i, j]) for j in range(len(n_prbs))]
+        for i, mcs in enumerate(mcs_indices)
+    ]
+    report.emit(format_table(["", *[f"{p} PRB" for p in n_prbs]], rows))
+
+    assert np.all(np.diff(surface, axis=0) >= 0), "TBS must grow with MCS"
+    assert np.all(np.diff(surface, axis=1) >= 0), "TBS must grow with PRBs"
+
+    # symbol-count dimension of Fig 9: fewer symbols -> smaller TBS
+    by_symbols = [
+        transport_block_size(20, 100, 2, n_symbols=s) for s in (4, 7, 10, SYMBOLS_PER_SLOT)
+    ]
+    report.emit("")
+    report.emit(f"TBS vs symbols/slot (MCS 20, 100 PRB): {by_symbols}")
+    assert by_symbols == sorted(by_symbols)

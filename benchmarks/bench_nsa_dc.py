@@ -1,0 +1,61 @@
+"""Extension bench — NSA dual connectivity (paper §2.1's "PDCP-layer CA").
+
+Not a numbered paper figure, but a direct consequence of §2.1 and the
+Fig 27 fallback discussion: EN-DC merges a 4G CA anchor (up to 5 CCs)
+with a 5G NR leg, and loses the NR leg where mid-band coverage thins
+(indoors), falling back to LTE.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.ran import DualConnectivitySimulator, TraceSimulator
+
+from conftest import run_once
+
+
+def test_nsa_dual_connectivity(benchmark, scale, report):
+    def experiment():
+        out = {}
+        for label, scenario, mobility in (
+            ("urban drive", "urban", "driving"),
+            ("indoor walk", "indoor", "indoor"),
+        ):
+            nsa_means, nr_ratios, lte_means = [], [], []
+            for seed in range(scale.seeds):
+                sim = DualConnectivitySimulator(
+                    "OpX", scenario=scenario, mobility=mobility, dt_s=1.0, seed=2100 + seed
+                )
+                trace = sim.run(scale.duration_s)
+                nsa_means.append(trace.throughput_series().mean())
+                nr_ratios.append(sim.nr_attachment_ratio(trace))
+                lte = TraceSimulator(
+                    "OpX", scenario=scenario, mobility=mobility, rat="4G", dt_s=1.0,
+                    seed=2100 + seed,
+                ).run(scale.duration_s)
+                lte_means.append(lte.throughput_series().mean())
+            out[label] = (
+                float(np.mean(nsa_means)),
+                float(np.mean(lte_means)),
+                float(np.mean(nr_ratios)),
+            )
+        return out
+
+    results = run_once(benchmark, experiment)
+
+    report.emit("=== NSA EN-DC: LTE anchor + NR leg (OpX) ===")
+    rows = [
+        [label, nsa, lte, f"{ratio * 100:.0f}%"]
+        for label, (nsa, lte, ratio) in results.items()
+    ]
+    report.emit(format_table(["Scenario", "NSA Mbps", "LTE-only Mbps", "NR-leg time"], rows, float_fmt="{:.0f}"))
+
+    report.emit("")
+    report.emit(
+        "Shape check: the NR leg boosts NSA over LTE-only outdoors, and"
+        " detaches more often indoors (paper Fig 27 fallback)."
+    )
+    urban = results["urban drive"]
+    indoor = results["indoor walk"]
+    assert urban[0] > urban[1], "NSA must beat LTE-only on an urban drive"
+    assert indoor[2] <= urban[2] + 0.05, "indoor NR attachment should not exceed outdoor"

@@ -1,0 +1,56 @@
+"""T13 — paper Table 13: ablation of Prism5G's two key mechanisms.
+
+Removes (1) the state-trigger mask and (2) the fusion module, and — as
+a design-space extension beyond the paper — swaps the RNN block from
+LSTM to GRU (the paper notes the block is swappable).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import DeepConfig, Prism5GPredictor
+from repro.data import SubDatasetSpec, build_subdataset, random_split
+
+from conftest import run_once
+
+
+def test_table13_ablation(benchmark, scale, report):
+    def experiment():
+        spec = SubDatasetSpec("OpZ", "driving", "long")
+        dataset = build_subdataset(
+            spec, n_traces=scale.n_traces, samples_per_trace=scale.samples_per_trace, seed=6
+        )
+        train, val, test = random_split(dataset.windows, 0.5, 0.2, 0.3, seed=0)
+        config = DeepConfig(hidden=scale.hidden, max_epochs=scale.epochs, patience=max(10, scale.epochs // 6))
+        variants = {
+            "Prism5G (full)": Prism5GPredictor(config),
+            "No State": Prism5GPredictor(config, use_state_trigger=False),
+            "No Fusion": Prism5GPredictor(config, use_fusion=False),
+            "GRU block": Prism5GPredictor(config, rnn="gru"),
+            "MLP head (paper-literal)": Prism5GPredictor(config, head="mlp"),
+        }
+        rmse = {}
+        for name, predictor in variants.items():
+            predictor.fit(train, val)
+            rmse[name] = predictor.evaluate(test)
+        return rmse
+
+    rmse = run_once(benchmark, experiment)
+
+    report.emit("=== Table 13: Prism5G ablation (RMSE, lower is better) ===")
+    rows = [[name, value] for name, value in rmse.items()]
+    report.emit(format_table(["Variant", "RMSE"], rows))
+    full = rmse["Prism5G (full)"]
+    report.emit("")
+    for name in ("No State", "No Fusion"):
+        delta = (rmse[name] - full) / full * 100.0
+        report.emit(f"{name}: {delta:+.1f}% vs full (paper: +5.3% / +6.2% on average)")
+    report.emit(f"GRU block: {(rmse['GRU block'] - full) / full * 100.0:+.1f}% vs LSTM block")
+    report.emit(
+        f"MLP head: {(rmse['MLP head (paper-literal)'] - full) / full * 100.0:+.1f}% vs decoder head"
+        " (see DESIGN.md 5b on this substitution)"
+    )
+
+    # the full model should be at least as good as the mean ablation
+    ablation_mean = np.mean([rmse["No State"], rmse["No Fusion"]])
+    assert full <= ablation_mean * 1.05, "removing both mechanisms should not help"

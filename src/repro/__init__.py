@@ -1,0 +1,37 @@
+"""repro — reproduction of "Dissecting Carrier Aggregation in 5G Networks:
+Measurement, QoE Implications and Prediction" (ACM SIGCOMM 2024).
+
+Subpackages
+-----------
+``repro.ran``
+    3GPP-grounded 4G/5G RAN + carrier-aggregation simulator that
+    synthesizes drive-test traces (the measurement substrate).
+``repro.nn``
+    Numpy autograd + neural modules (LSTM/GRU/TCN/MLP), Adam, trainer.
+``repro.trees`` / ``repro.forecast``
+    Classical ML (CART/RF/GBDT) and statistical forecasting baselines.
+``repro.data``
+    Windowing, normalization, and the paper's six ML sub-datasets.
+``repro.core``
+    Prism5G (the CA-aware predictor), baselines, evaluation harness.
+``repro.apps``
+    QoE use cases: ViVo volumetric streaming, MPC video ABR.
+``repro.analysis``
+    Measurement analysis: distributions, correlations, efficiency.
+"""
+
+from . import analysis, apps, core, data, forecast, nn, ran, trees
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "core",
+    "data",
+    "forecast",
+    "nn",
+    "ran",
+    "trees",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Measurement analysis: distributions, correlations, efficiency, tables."""
+
+from .correlation import CrossCorrelation, cc_series, cross_correlations, dominant_pair, pearson
+from .handover import PCellChange, PCellStats, pcell_band_share, pcell_changes, pcell_statistics
+from .efficiency import (
+    ChannelEfficiency,
+    spectral_efficiency,
+    tbs_surface,
+    theoretical_efficiency_bps_hz,
+)
+from .reports import format_rmse_table, format_table
+from .stats import (
+    TransitionStats,
+    ViolinSummary,
+    empirical_cdf,
+    kde_peaks,
+    percentile,
+    subadditivity_ratio,
+    transition_statistics,
+)
+
+__all__ = [
+    "ChannelEfficiency",
+    "CrossCorrelation",
+    "PCellChange",
+    "PCellStats",
+    "TransitionStats",
+    "ViolinSummary",
+    "cc_series",
+    "cross_correlations",
+    "dominant_pair",
+    "empirical_cdf",
+    "format_rmse_table",
+    "format_table",
+    "kde_peaks",
+    "pcell_band_share",
+    "pcell_changes",
+    "pcell_statistics",
+    "pearson",
+    "percentile",
+    "spectral_efficiency",
+    "subadditivity_ratio",
+    "tbs_surface",
+    "theoretical_efficiency_bps_hz",
+    "transition_statistics",
+]

@@ -1,0 +1,86 @@
+"""Cross-carrier correlation analysis (paper §4.2, Figs 11-13).
+
+The paper's argument for per-CC modeling: a CC's RSRP correlates
+strongly with *its own* throughput, and with the other CC's RSRP/
+throughput only for intra-band CA — for inter-band CA the cross
+correlations collapse, so one carrier's features cannot stand in for
+another's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ran.traces import Trace
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation coefficient with degenerate-input handling."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError("series must have equal length")
+    if a.size < 2:
+        raise ValueError("need at least 2 samples")
+    if a.std() == 0.0 or b.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def cc_series(trace: Trace, channel_key: str, field: str) -> np.ndarray:
+    """Extract one feature of one CC over time (NaN when inactive)."""
+    out = np.full(len(trace.records), np.nan)
+    for i, rec in enumerate(trace.records):
+        for cc in rec.ccs:
+            if cc.active and cc.channel_key == channel_key:
+                out[i] = getattr(cc, field)
+                break
+    return out
+
+
+@dataclass
+class CrossCorrelation:
+    """The four-panel correlation structure of paper Figs 11-12."""
+
+    pcell_rsrp_vs_pcell_tput: float
+    scell_rsrp_vs_scell_tput: float
+    pcell_rsrp_vs_scell_tput: float
+    scell_rsrp_vs_pcell_tput: float
+    pcell_rsrp_vs_scell_rsrp: float  #: Fig 13
+
+
+def cross_correlations(trace: Trace, pcell_key: str, scell_key: str) -> CrossCorrelation:
+    """Compute the paper's RSRP/throughput correlation matrix for 2 CCs."""
+    p_rsrp = cc_series(trace, pcell_key, "rsrp_dbm")
+    p_tput = cc_series(trace, pcell_key, "tput_mbps")
+    s_rsrp = cc_series(trace, scell_key, "rsrp_dbm")
+    s_tput = cc_series(trace, scell_key, "tput_mbps")
+    both = ~(np.isnan(p_rsrp) | np.isnan(s_rsrp))
+    if both.sum() < 10:
+        raise ValueError("too few joint-activity samples for correlation")
+    return CrossCorrelation(
+        pcell_rsrp_vs_pcell_tput=pearson(p_rsrp[both], p_tput[both]),
+        scell_rsrp_vs_scell_tput=pearson(s_rsrp[both], s_tput[both]),
+        pcell_rsrp_vs_scell_tput=pearson(p_rsrp[both], s_tput[both]),
+        scell_rsrp_vs_pcell_tput=pearson(s_rsrp[both], p_tput[both]),
+        pcell_rsrp_vs_scell_rsrp=pearson(p_rsrp[both], s_rsrp[both]),
+    )
+
+
+def dominant_pair(trace: Trace) -> Optional[Tuple[str, str]]:
+    """Most frequently co-active (PCell, SCell) channel pair in a trace."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for rec in trace.records:
+        pcell = rec.pcell
+        if pcell is None:
+            continue
+        for cc in rec.ccs:
+            if cc.active and not cc.is_pcell:
+                key = (pcell.channel_key, cc.channel_key)
+                counts[key] = counts.get(key, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=counts.get)

@@ -1,0 +1,110 @@
+"""PCell-change (handover-like) analysis.
+
+§3.2 of the paper notes that besides SCell activation/deactivation, the
+PCell itself may switch bands (e.g. TDD -> FDD with altered power
+allocation), adding another source of throughput disruption.  This
+module quantifies PCell dynamics over traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ran.traces import Trace
+
+
+@dataclass
+class PCellChange:
+    """One PCell switch occurrence."""
+
+    step: int
+    t: float
+    from_channel: Optional[str]
+    to_channel: str
+    from_band_class: Optional[str]
+    to_band_class: str
+
+
+@dataclass
+class PCellStats:
+    """Aggregate PCell dynamics for one trace."""
+
+    n_changes: int
+    mean_interval_s: float
+    band_transition_counts: Counter = field(default_factory=Counter)
+    tput_drop_pct_around_changes: float = 0.0
+
+
+def _band_class(band_name: str) -> str:
+    from ..ran.bands import BAND_REGISTRY
+
+    band = BAND_REGISTRY.get(band_name)
+    return band.band_class if band else "unknown"
+
+
+def pcell_changes(trace: Trace) -> List[PCellChange]:
+    """Extract every PCell switch in a trace."""
+    changes: List[PCellChange] = []
+    previous: Optional[str] = None
+    previous_band: Optional[str] = None
+    for step, rec in enumerate(trace.records):
+        pcell = rec.pcell
+        if pcell is None:
+            continue
+        if previous is not None and pcell.channel_key != previous:
+            changes.append(
+                PCellChange(
+                    step=step,
+                    t=rec.t,
+                    from_channel=previous,
+                    to_channel=pcell.channel_key,
+                    from_band_class=previous_band,
+                    to_band_class=_band_class(pcell.band_name),
+                )
+            )
+        previous = pcell.channel_key
+        previous_band = _band_class(pcell.band_name)
+    return changes
+
+
+def pcell_statistics(trace: Trace, window_s: float = 5.0) -> PCellStats:
+    """Summarize PCell churn and its throughput cost."""
+    changes = pcell_changes(trace)
+    tput = trace.throughput_series()
+    half = max(1, int(window_s / trace.dt_s / 2))
+    drops = []
+    transitions: Counter = Counter()
+    for change in changes:
+        transitions[(change.from_band_class, change.to_band_class)] += 1
+        lo = max(0, change.step - half)
+        before = tput[lo : change.step]
+        after = tput[change.step : change.step + half]
+        if len(before) and len(after) and before.mean() > 1e-9:
+            drops.append((before.mean() - after.mean()) / before.mean() * 100.0)
+    intervals = np.diff([c.step for c in changes]) * trace.dt_s if len(changes) > 1 else np.array([])
+    return PCellStats(
+        n_changes=len(changes),
+        mean_interval_s=float(intervals.mean()) if intervals.size else float("inf"),
+        band_transition_counts=transitions,
+        tput_drop_pct_around_changes=float(np.mean(drops)) if drops else 0.0,
+    )
+
+
+def pcell_band_share(traces: Sequence[Trace]) -> Dict[str, float]:
+    """Fraction of connected time each band class serves as PCell."""
+    counts: Counter = Counter()
+    total = 0
+    for trace in traces:
+        for rec in trace.records:
+            pcell = rec.pcell
+            if pcell is None:
+                continue
+            counts[_band_class(pcell.band_name)] += 1
+            total += 1
+    if total == 0:
+        return {}
+    return {band: count / total for band, count in sorted(counts.items())}

@@ -1,0 +1,50 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same rows the paper's tables report; this module
+keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    float_fmt: str = "{:.3f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    rendered: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        rendered.append(
+            [float_fmt.format(cell) if isinstance(cell, float) else str(cell) for cell in row]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered)) if rendered else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_rmse_table(results: Dict[str, Dict[str, float]], methods: Sequence[str], title: str = "") -> str:
+    """Dataset-by-method RMSE matrix (Table 4 layout)."""
+    headers = ["Dataset", *methods]
+    rows = []
+    for dataset, rmse in results.items():
+        rows.append([dataset, *[rmse.get(m, float("nan")) for m in methods]])
+    return format_table(headers, rows, title=title)

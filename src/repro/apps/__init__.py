@@ -1,0 +1,43 @@
+"""QoE use cases: ViVo volumetric streaming and MPC video ABR."""
+
+from .bridge import (
+    predicted_bandwidth_series,
+    predictor_forecaster,
+    trace_windows_normalized,
+)
+from .abr import (
+    ABRConfig,
+    Forecaster,
+    MPCPlayer,
+    PAPER_BITRATES_MBPS,
+    harmonic_forecaster,
+    oracle_forecaster_factory,
+)
+from .qoe import QoEResult, relative_degradation, stall_tail_improvements
+from .vivo import (
+    DEFAULT_QUALITY_FRACTIONS,
+    ViVoConfig,
+    ViVoSimulator,
+    future_mean_bandwidth,
+    past_mean_bandwidth,
+)
+
+__all__ = [
+    "ABRConfig",
+    "DEFAULT_QUALITY_FRACTIONS",
+    "Forecaster",
+    "MPCPlayer",
+    "PAPER_BITRATES_MBPS",
+    "QoEResult",
+    "ViVoConfig",
+    "ViVoSimulator",
+    "future_mean_bandwidth",
+    "harmonic_forecaster",
+    "oracle_forecaster_factory",
+    "past_mean_bandwidth",
+    "predicted_bandwidth_series",
+    "predictor_forecaster",
+    "relative_degradation",
+    "stall_tail_improvements",
+    "trace_windows_normalized",
+]

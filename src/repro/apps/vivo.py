@@ -1,0 +1,158 @@
+"""ViVo: visibility-aware volumetric (XR) streaming simulator (§3.3, §7).
+
+ViVo [16] streams 3D point-cloud frames with a hard 150 ms delivery
+deadline, picking each frame's quality level (point density) from a
+bandwidth estimate for the next 150 ms.  QoE = (average quality level,
+stall time), where a frame that misses its deadline stalls playback.
+
+The simulator consumes a throughput time series at a fine granularity
+(10 ms in the paper) and a *bandwidth estimator* — an array of
+predicted mean bandwidths for the next-deadline window at every step.
+Estimators: the stock ViVo moving-average, any trained predictor, or
+the oracle ("ideal ViVo") that reads the actual future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .qoe import QoEResult
+
+#: default quality ladder as fractions of the session's max bitrate.
+DEFAULT_QUALITY_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass
+class ViVoConfig:
+    """ViVo session parameters.
+
+    ``max_bitrate_mbps`` is 375 for the standard app and 750 for the
+    scaled-up variant the paper uses over 4CC CA.
+    """
+
+    max_bitrate_mbps: float = 375.0
+    quality_fractions: Sequence[float] = DEFAULT_QUALITY_FRACTIONS
+    frame_interval_s: float = 1.0 / 30.0
+    deadline_s: float = 0.150
+    safety: float = 0.9  #: fraction of the estimate ViVo dares to use
+
+    @property
+    def bitrates_mbps(self) -> np.ndarray:
+        return np.asarray([f * self.max_bitrate_mbps for f in self.quality_fractions])
+
+
+def future_mean_bandwidth(tput: np.ndarray, dt_s: float, window_s: float) -> np.ndarray:
+    """Oracle estimator: actual mean bandwidth over the next window."""
+    tput = np.asarray(tput, dtype=np.float64)
+    steps = max(1, int(round(window_s / dt_s)))
+    out = np.empty_like(tput)
+    cumsum = np.concatenate([[0.0], np.cumsum(tput)])
+    for i in range(len(tput)):
+        j = min(i + steps, len(tput))
+        out[i] = (cumsum[j] - cumsum[i]) / max(j - i, 1)
+    return out
+
+
+def past_mean_bandwidth(tput: np.ndarray, dt_s: float, window_s: float) -> np.ndarray:
+    """Stock ViVo estimator: mean of the recent past window."""
+    tput = np.asarray(tput, dtype=np.float64)
+    steps = max(1, int(round(window_s / dt_s)))
+    out = np.empty_like(tput)
+    cumsum = np.concatenate([[0.0], np.cumsum(tput)])
+    for i in range(len(tput)):
+        lo = max(0, i - steps + 1)
+        out[i] = (cumsum[i + 1] - cumsum[lo]) / max(i + 1 - lo, 1)
+    return out
+
+
+class ViVoSimulator:
+    """Frame-by-frame delivery simulation against a throughput trace."""
+
+    def __init__(self, config: Optional[ViVoConfig] = None) -> None:
+        self.config = config or ViVoConfig()
+
+    def _choose_quality(self, estimate_mbps: float) -> int:
+        """Highest quality whose bitrate fits the (safety-scaled) estimate."""
+        usable = self.config.safety * max(estimate_mbps, 0.0)
+        bitrates = self.config.bitrates_mbps
+        level = 0
+        for i, rate in enumerate(bitrates):
+            if rate <= usable:
+                level = i
+        return level
+
+    def run(
+        self,
+        tput_mbps: np.ndarray,
+        dt_s: float,
+        bandwidth_estimate_mbps: np.ndarray,
+    ) -> QoEResult:
+        """Stream frames over the trace using the given estimates.
+
+        ``bandwidth_estimate_mbps[i]`` is the estimator's output at step
+        ``i`` for the next deadline window; frames start at multiples of
+        the frame interval and must finish within ``deadline_s``.
+        """
+        tput = np.asarray(tput_mbps, dtype=np.float64)
+        estimates = np.asarray(bandwidth_estimate_mbps, dtype=np.float64)
+        if tput.shape != estimates.shape:
+            raise ValueError("estimate series must align with the throughput series")
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        cfg = self.config
+        duration = len(tput) * dt_s
+        n_frames = int((duration - cfg.deadline_s) / cfg.frame_interval_s)
+        if n_frames < 1:
+            raise ValueError("trace too short for a single frame")
+
+        qualities: List[int] = []
+        switches = 0
+        stall_time = 0.0
+        n_stalls = 0
+        previous_quality: Optional[int] = None
+        deadline_steps = max(1, int(round(cfg.deadline_s / dt_s)))
+
+        for frame in range(n_frames):
+            start = int(frame * cfg.frame_interval_s / dt_s)
+            quality = self._choose_quality(estimates[start])
+            qualities.append(quality)
+            if previous_quality is not None and quality != previous_quality:
+                switches += 1
+            previous_quality = quality
+            size_mbit = cfg.bitrates_mbps[quality] * cfg.frame_interval_s
+            # deliver using the actual link: integrate capacity until done
+            delivered = 0.0
+            step = start
+            elapsed = 0.0
+            while delivered < size_mbit and step < len(tput):
+                delivered += tput[step] * dt_s
+                elapsed += dt_s
+                step += 1
+            if delivered < size_mbit:
+                # ran off the trace; extrapolate with the last sample
+                remaining = size_mbit - delivered
+                last = max(tput[-1], 1e-6)
+                elapsed += remaining / last
+            if elapsed > cfg.deadline_s:
+                stall_time += elapsed - cfg.deadline_s
+                n_stalls += 1
+        return QoEResult(
+            avg_quality=float(np.mean(qualities)),
+            stall_time_s=stall_time,
+            n_stalls=n_stalls,
+            n_units=n_frames,
+            quality_switches=switches,
+        )
+
+    def run_ideal(self, tput_mbps: np.ndarray, dt_s: float) -> QoEResult:
+        """The paper's *ideal ViVo*: estimator = actual future bandwidth."""
+        oracle = future_mean_bandwidth(tput_mbps, dt_s, self.config.deadline_s)
+        return self.run(tput_mbps, dt_s, oracle)
+
+    def run_stock(self, tput_mbps: np.ndarray, dt_s: float, history_s: float = 0.5) -> QoEResult:
+        """Stock ViVo: past-window mean estimator."""
+        estimate = past_mean_bandwidth(tput_mbps, dt_s, history_s)
+        return self.run(tput_mbps, dt_s, estimate)

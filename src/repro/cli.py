@@ -1,0 +1,190 @@
+"""Command-line interface: simulate traces, run campaigns, train models.
+
+Usage (also installed as the ``repro5g`` console script):
+
+    python -m repro.cli simulate --operator OpZ --scenario urban \
+        --mobility driving --duration 120 --out trace.jsonl
+    python -m repro.cli campaign --operators OpZ OpX --duration 60
+    python -m repro.cli train --operator OpZ --mobility driving \
+        --timescale long --epochs 40 --model-out prism.npz
+    python -m repro.cli evaluate --operator OpZ --mobility driving \
+        --timescale long --predictors Prophet LSTM Prism5G
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis import format_table
+from .core import DeepConfig, evaluate_predictors, make_default_predictors
+from .core.predictors import PREDICTOR_REGISTRY, Prism5GPredictor
+from .data import SubDatasetSpec, build_subdataset, random_split
+from .nn.serialization import save_state
+from .ran import CampaignConfig, DualConnectivitySimulator, TraceSimulator, run_campaign
+
+
+def _add_common_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--operator", default="OpZ", choices=["OpX", "OpY", "OpZ"])
+    parser.add_argument("--scenario", default="urban", choices=["urban", "suburban", "highway", "indoor"])
+    parser.add_argument("--mobility", default="driving", choices=["stationary", "walking", "driving", "indoor"])
+    parser.add_argument("--modem", default="X70", choices=["X50", "X55", "X60", "X65", "X70"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.nsa:
+        sim = DualConnectivitySimulator(
+            operator=args.operator, scenario=args.scenario, mobility=args.mobility,
+            modem=args.modem, dt_s=args.dt, seed=args.seed,
+        )
+    else:
+        sim = TraceSimulator(
+            operator=args.operator, scenario=args.scenario, mobility=args.mobility,
+            modem=args.modem, rat=args.rat, dt_s=args.dt, seed=args.seed,
+        )
+    trace = sim.run(args.duration)
+    series = trace.throughput_series()
+    print(
+        f"{trace.operator} {trace.rat} {args.scenario}/{args.mobility}: "
+        f"{len(trace)} samples, mean {series.mean():.1f} Mbps, peak {series.max():.1f} Mbps, "
+        f"max CCs {trace.cc_count_series().max()}"
+    )
+    if args.out:
+        trace.to_jsonl(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = CampaignConfig(
+        operators=tuple(args.operators),
+        scenarios=tuple(args.scenarios),
+        rats=tuple(args.rats),
+        traces_per_cell=args.runs,
+        duration_s=args.duration,
+        dt_s=args.dt,
+        seed=args.seed,
+    )
+    result = run_campaign(config)
+    rows = []
+    for (operator, rat, scenario), stats in sorted(result.stats.items()):
+        rows.append(
+            [
+                operator, rat, scenario,
+                stats.unique_channels,
+                f"{stats.ordered_combos}/{stats.unique_combos}",
+                stats.max_ccs,
+                f"{stats.ca_prevalence * 100:.0f}%",
+                f"{stats.peak_tput_mbps:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Oper.", "RAT", "Scenario", "#Ch", "Combos", "MaxCC", "CA%", "Peak Mbps"],
+            rows,
+            title=f"Campaign: {len(result.traces)} traces, {result.traces.total_duration_s() / 60:.0f} min",
+        )
+    )
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        for i, trace in enumerate(result.traces):
+            trace.to_jsonl(out_dir / f"trace_{trace.operator}_{trace.rat}_{trace.scenario}_{i:03d}.jsonl")
+        print(f"wrote {len(result.traces)} traces to {out_dir}")
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> SubDatasetSpec:
+    return SubDatasetSpec(args.operator, args.mobility, args.timescale)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    print(f"building dataset {spec.name} ({args.traces} traces x {args.samples} samples)")
+    dataset = build_subdataset(spec, n_traces=args.traces, samples_per_trace=args.samples, seed=args.seed)
+    train, val, test = random_split(dataset.windows, 0.5, 0.2, 0.3, seed=args.seed)
+    config = DeepConfig(hidden=args.hidden, max_epochs=args.epochs, patience=max(8, args.epochs // 5))
+    predictor = Prism5GPredictor(config)
+    print(f"training Prism5G ({config.hidden} hidden, <= {config.max_epochs} epochs)")
+    predictor.fit(train, val)
+    print(f"test RMSE (normalized): {predictor.evaluate(test):.4f}")
+    if args.model_out:
+        save_state(predictor.model, args.model_out)
+        print(f"wrote {args.model_out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    unknown = [p for p in args.predictors if p not in PREDICTOR_REGISTRY]
+    if unknown:
+        print(f"unknown predictors: {unknown}; choose from {sorted(PREDICTOR_REGISTRY)}", file=sys.stderr)
+        return 2
+    spec = _spec_from_args(args)
+    dataset = build_subdataset(spec, n_traces=args.traces, samples_per_trace=args.samples, seed=args.seed)
+    config = DeepConfig(hidden=args.hidden, max_epochs=args.epochs, patience=max(8, args.epochs // 5))
+    predictors = make_default_predictors(config, include=args.predictors)
+    result = evaluate_predictors(dataset, predictors, split=args.split, dataset_name=spec.name)
+    rows = [[name, rmse] for name, rmse in result.rmse.items()]
+    print(format_table(["Predictor", "RMSE"], rows, title=f"=== {spec.name} ==="))
+    if "Prism5G" in result.rmse and len(result.rmse) > 1:
+        print(f"Prism5G improvement over best baseline: {result.improvement_over_best_baseline():+.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro5g", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="synthesize one CA trace")
+    _add_common_sim_args(sim)
+    sim.add_argument("--rat", default="5G", choices=["4G", "5G"])
+    sim.add_argument("--nsa", action="store_true", help="EN-DC dual connectivity")
+    sim.add_argument("--dt", type=float, default=1.0)
+    sim.add_argument("--duration", type=float, default=60.0)
+    sim.add_argument("--out", default=None, help="JSONL output path")
+    sim.set_defaults(func=_cmd_simulate)
+
+    camp = sub.add_parser("campaign", help="run a measurement campaign")
+    camp.add_argument("--operators", nargs="+", default=["OpX", "OpY", "OpZ"])
+    camp.add_argument("--scenarios", nargs="+", default=["urban", "suburban", "highway"])
+    camp.add_argument("--rats", nargs="+", default=["4G", "5G"])
+    camp.add_argument("--runs", type=int, default=2)
+    camp.add_argument("--duration", type=float, default=60.0)
+    camp.add_argument("--dt", type=float, default=1.0)
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--out-dir", default=None, help="write traces as JSONL here")
+    camp.set_defaults(func=_cmd_campaign)
+
+    def _add_ml_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--operator", default="OpZ", choices=["OpX", "OpY", "OpZ"])
+        p.add_argument("--mobility", default="driving", choices=["walking", "driving"])
+        p.add_argument("--timescale", default="long", choices=["short", "long"])
+        p.add_argument("--traces", type=int, default=5)
+        p.add_argument("--samples", type=int, default=200)
+        p.add_argument("--hidden", type=int, default=24)
+        p.add_argument("--epochs", type=int, default=40)
+        p.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train Prism5G on a sub-dataset")
+    _add_ml_args(train)
+    train.add_argument("--model-out", default=None, help=".npz path for the trained weights")
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="compare predictors (Table 4 style)")
+    _add_ml_args(evaluate)
+    evaluate.add_argument("--predictors", nargs="+", default=["Prophet", "LSTM", "Prism5G"])
+    evaluate.add_argument("--split", default="random", choices=["random", "trace"])
+    evaluate.set_defaults(func=_cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Prism5G model, baseline predictors, and the evaluation harness."""
+
+from .evaluation import (
+    EvaluationResult,
+    evaluate_on_new_traces,
+    evaluate_predictors,
+    make_default_predictors,
+)
+from .predictors import (
+    DeepConfig,
+    GBDTPredictor,
+    LSTMPredictor,
+    Lumos5GPredictor,
+    PREDICTOR_REGISTRY,
+    Predictor,
+    Prism5GPredictor,
+    ProphetPredictor,
+    RFPredictor,
+    TCNPredictor,
+)
+from .prism5g import Prism5G, pack_inputs, unpack_inputs
+
+__all__ = [
+    "DeepConfig",
+    "EvaluationResult",
+    "GBDTPredictor",
+    "LSTMPredictor",
+    "Lumos5GPredictor",
+    "PREDICTOR_REGISTRY",
+    "Predictor",
+    "Prism5G",
+    "Prism5GPredictor",
+    "ProphetPredictor",
+    "RFPredictor",
+    "TCNPredictor",
+    "evaluate_on_new_traces",
+    "evaluate_predictors",
+    "make_default_predictors",
+    "pack_inputs",
+    "unpack_inputs",
+]

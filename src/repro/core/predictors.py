@@ -1,0 +1,391 @@
+"""Uniform fit/predict API over every throughput predictor in the paper.
+
+Baselines (§6.1): Prophet (statistics-only), LSTM [28], TCN [9],
+Lumos5G's Seq2Seq [32], GBDT [32] and RF [4]; plus Prism5G itself and
+its ablations.  Every predictor consumes a
+:class:`~repro.data.windowing.WindowedDataset` (normalized) and emits
+``(n, horizon)`` forecasts, so Table 4 / Table 13 / Table 14 all run
+through one evaluation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+from ..data.windowing import WindowedDataset, flatten_for_trees
+from ..forecast.prophet import StructuralProphet
+from ..nn.losses import rmse
+from ..nn.modules import Linear, LSTM, LSTMCell, Module, TCN
+from ..nn.tensor import Tensor, concat, stack
+from ..nn.training import Trainer
+from ..trees.boosting import GradientBoostingRegressor
+from ..trees.forest import RandomForestRegressor
+from .prism5g import Prism5G, pack_inputs
+
+
+class Predictor:
+    """Base predictor: fit on windows, predict (n, horizon)."""
+
+    name = "base"
+
+    def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "Predictor":
+        raise NotImplementedError
+
+    def predict(self, dataset: WindowedDataset) -> np.ndarray:
+        raise NotImplementedError
+
+    def evaluate(self, dataset: WindowedDataset) -> float:
+        """RMSE over the full horizon (the paper's metric)."""
+        return rmse(self.predict(dataset), dataset.y)
+
+
+# ----------------------------------------------------------------------
+# Statistics-only: Prophet
+# ----------------------------------------------------------------------
+class ProphetPredictor(Predictor):
+    """Refit a structural model on each window's history (rolling refit).
+
+    This mirrors the paper's cross-validation protocol for Prophet: the
+    model sees only the throughput history, no radio features.
+    """
+
+    name = "Prophet"
+
+    def __init__(self, n_changepoints: int = 3, alpha: float = 0.5) -> None:
+        self.n_changepoints = n_changepoints
+        self.alpha = alpha
+
+    def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "ProphetPredictor":
+        return self  # refit per window at prediction time
+
+    def predict(self, dataset: WindowedDataset) -> np.ndarray:
+        horizon = dataset.horizon
+        out = np.empty((len(dataset), horizon))
+        for i, history in enumerate(dataset.y_hist):
+            model = StructuralProphet(n_changepoints=self.n_changepoints, alpha=self.alpha)
+            out[i] = model.fit(history).predict(horizon)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Deep baselines (CA-blind: flattened features)
+# ----------------------------------------------------------------------
+class _SeqRegressor(Module):
+    """LSTM encoder -> linear head on the last hidden state."""
+
+    def __init__(self, in_size: int, hidden: int, horizon: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.rnn = LSTM(in_size, hidden, num_layers=2, rng=rng)
+        self.head = Linear(hidden, horizon, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out, _ = self.rnn(x)
+        return self.head(out[:, -1, :])
+
+
+class _TCNRegressor(Module):
+    """TCN stack -> linear head on the last time step."""
+
+    def __init__(self, in_size: int, hidden: int, horizon: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.tcn = TCN(in_size, [hidden, hidden], kernel_size=3, rng=rng)
+        self.head = Linear(hidden, horizon, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.tcn(x)[:, -1, :])
+
+
+class _Seq2Seq(Module):
+    """Lumos5G-style encoder/decoder (Seq2Seq) regressor.
+
+    The encoder LSTM summarizes the history; the decoder LSTM cell
+    rolls forward ``horizon`` steps feeding back its own prediction.
+    """
+
+    def __init__(self, in_size: int, hidden: int, horizon: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.horizon = horizon
+        self.encoder = LSTM(in_size, hidden, num_layers=1, rng=rng)
+        self.decoder_cell = LSTMCell(1, hidden, rng=rng)
+        self.head = Linear(hidden, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        _, state = self.encoder(x)
+        h, c = state[0]
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        step_input = Tensor(data[:, -1, -1:])  # last observed throughput
+        outputs = []
+        for _ in range(self.horizon):
+            h, c = self.decoder_cell(step_input, (h, c))
+            pred = self.head(h)
+            outputs.append(pred)
+            step_input = pred
+        return concat(outputs, axis=1)
+
+
+@dataclass
+class DeepConfig:
+    """Shared hyperparameters for the deep predictors."""
+
+    hidden: int = 32
+    lr: float = 0.01
+    batch_size: int = 128
+    max_epochs: int = 60
+    patience: int = 10
+    seed: int = 0
+
+
+class _DeepPredictor(Predictor):
+    """Common packing + Trainer plumbing for all deep models.
+
+    ``tput_history_only`` reproduces the published input contract of the
+    LSTM [28] and TCN [9] baselines, which forecast from the bandwidth
+    time series alone; the feature-based baselines (Lumos5G, trees) and
+    Prism5G consume the full Table 3 feature set.
+    """
+
+    tput_history_only = False
+
+    def __init__(self, config: Optional[DeepConfig] = None) -> None:
+        self.config = config or DeepConfig()
+        self.trainer: Optional[Trainer] = None
+
+    def _packed(self, dataset: WindowedDataset) -> np.ndarray:
+        if self.tput_history_only:
+            return dataset.y_hist[..., None]
+        return pack_inputs(dataset.x, dataset.mask, dataset.y_hist)
+
+    def _build(self, in_size: int, n_ccs: int, n_features: int, horizon: int) -> Module:
+        raise NotImplementedError
+
+    def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "_DeepPredictor":
+        x_train = self._packed(train)
+        model = self._build(x_train.shape[2], train.n_ccs, train.x.shape[3], train.horizon)
+        self.trainer = Trainer(
+            model,
+            lr=self.config.lr,
+            batch_size=self.config.batch_size,
+            max_epochs=self.config.max_epochs,
+            patience=self.config.patience,
+            seed=self.config.seed,
+        )
+        x_val = self._packed(val) if val is not None and len(val) else None
+        y_val = val.y if val is not None and len(val) else None
+        self.trainer.fit(x_train, train.y, x_val, y_val)
+        return self
+
+    def predict(self, dataset: WindowedDataset) -> np.ndarray:
+        if self.trainer is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self.trainer.predict(self._packed(dataset))
+
+
+class LSTMPredictor(_DeepPredictor):
+    """Bandwidth-history LSTM (Mei et al. [28]): time series in, no radio features."""
+
+    name = "LSTM"
+    tput_history_only = True
+
+    def _build(self, in_size: int, n_ccs: int, n_features: int, horizon: int) -> Module:
+        return _SeqRegressor(in_size, self.config.hidden, horizon, seed=self.config.seed)
+
+
+class TCNPredictor(_DeepPredictor):
+    """Temporal convolutional forecaster (Chen et al. [9]): time series only."""
+
+    name = "TCN"
+    tput_history_only = True
+
+    def _build(self, in_size: int, n_ccs: int, n_features: int, horizon: int) -> Module:
+        return _TCNRegressor(in_size, self.config.hidden, horizon, seed=self.config.seed)
+
+
+class Lumos5GPredictor(_DeepPredictor):
+    """Lumos5G's Seq2Seq architecture [32] on UE-side features."""
+
+    name = "Lumos5G"
+
+    def _build(self, in_size: int, n_ccs: int, n_features: int, horizon: int) -> Module:
+        return _Seq2Seq(in_size, self.config.hidden, horizon, seed=self.config.seed)
+
+
+class Prism5GPredictor(_DeepPredictor):
+    """The paper's CA-aware model (optionally ablated).
+
+    Trains with joint supervision: MSE on the aggregate forecast plus
+    ``cc_loss_weight`` x MSE on the per-carrier forecasts (their sum is
+    the aggregate, paper §5.2).  Per-CC targets come from
+    ``WindowedDataset.y_cc`` when available.
+    """
+
+    name = "Prism5G"
+
+    def __init__(
+        self,
+        config: Optional[DeepConfig] = None,
+        use_state_trigger: bool = True,
+        use_fusion: bool = True,
+        rnn: str = "lstm",
+        cc_loss_weight: float = 0.5,
+        lr_scale: float = 0.3,
+        head: str = "decoder",
+    ) -> None:
+        super().__init__(config)
+        self.use_state_trigger = use_state_trigger
+        self.use_fusion = use_fusion
+        self.rnn = rnn
+        self.head = head
+        self.cc_loss_weight = cc_loss_weight
+        # the shared encoder accumulates gradients from C carrier replicas,
+        # so its effective step size is ~C-fold larger; scale the lr down.
+        self.lr_scale = lr_scale
+        if not use_state_trigger and use_fusion:
+            self.name = "Prism5G (no state)"
+        elif use_state_trigger and not use_fusion:
+            self.name = "Prism5G (no fusion)"
+        self.model: Optional[Prism5G] = None
+
+    def _build(self, in_size: int, n_ccs: int, n_features: int, horizon: int) -> Module:
+        self.model = Prism5G(
+            n_ccs=n_ccs,
+            n_features=n_features,
+            horizon=horizon,
+            hidden=self.config.hidden,
+            rnn=self.rnn,
+            use_state_trigger=self.use_state_trigger,
+            use_fusion=self.use_fusion,
+            head=self.head,
+            seed=self.config.seed,
+        )
+        return self.model
+
+    def _packed_targets(self, dataset: WindowedDataset) -> np.ndarray:
+        """Aggregate targets followed by per-CC targets (flattened)."""
+        horizon = dataset.horizon
+        if dataset.y_cc is None:
+            return dataset.y
+        per_cc = dataset.y_cc.reshape(len(dataset), horizon * dataset.n_ccs)
+        return np.concatenate([dataset.y, per_cc], axis=1)
+
+    def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "Prism5GPredictor":
+        x_train = self._packed(train)
+        model = self._build(x_train.shape[2], train.n_ccs, train.x.shape[3], train.horizon)
+        horizon = train.horizon
+        has_cc = train.y_cc is not None
+        weight = self.cc_loss_weight
+
+        def loss_fn(pred: Tensor, target: Tensor) -> Tensor:
+            agg = pred[:, :horizon] - target[:, :horizon]
+            loss = (agg * agg).mean()
+            if has_cc:
+                cc = pred[:, horizon:] - target[:, horizon:]
+                loss = loss + weight * (cc * cc).mean()
+            return loss
+
+        self.trainer = Trainer(
+            model,
+            lr=self.config.lr * self.lr_scale,
+            batch_size=self.config.batch_size,
+            max_epochs=self.config.max_epochs,
+            patience=self.config.patience,
+            seed=self.config.seed,
+            loss_fn=loss_fn,
+        )
+        x_val = self._packed(val) if val is not None and len(val) else None
+        y_val = self._packed_targets(val) if val is not None and len(val) else None
+        self.trainer.fit(x_train, self._packed_targets(train), x_val, y_val)
+        return self
+
+    def predict(self, dataset: WindowedDataset) -> np.ndarray:
+        if self.trainer is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self.trainer.predict(self._packed(dataset))[:, : dataset.horizon]
+
+    def predict_per_cc(self, dataset: WindowedDataset) -> np.ndarray:
+        """Per-carrier forecasts (paper Figs 33-34)."""
+        if self.model is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self.model.predict_per_cc(self._packed(dataset))
+
+
+# ----------------------------------------------------------------------
+# Classical ML (Appendix C.1 protocol: flattened history features)
+# ----------------------------------------------------------------------
+class _TreePredictor(Predictor):
+    """One regressor per horizon step over flattened windows."""
+
+    def __init__(self) -> None:
+        self.models: List = []
+
+    def _new_model(self, seed: int):
+        raise NotImplementedError
+
+    def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "_TreePredictor":
+        features = flatten_for_trees(train)
+        self.models = []
+        for step in range(train.horizon):
+            model = self._new_model(seed=step)
+            model.fit(features, train.y[:, step])
+            self.models.append(model)
+        return self
+
+    def predict(self, dataset: WindowedDataset) -> np.ndarray:
+        if not self.models:
+            raise RuntimeError("predictor has not been fitted")
+        features = flatten_for_trees(dataset)
+        return np.stack([model.predict(features) for model in self.models], axis=1)
+
+
+class GBDTPredictor(_TreePredictor):
+    """Gradient-boosted trees (used by Lumos5G [32])."""
+
+    name = "GBDT"
+
+    def __init__(self, n_estimators: int = 60, max_depth: int = 3, learning_rate: float = 0.1) -> None:
+        super().__init__()
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+
+    def _new_model(self, seed: int) -> GradientBoostingRegressor:
+        return GradientBoostingRegressor(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            learning_rate=self.learning_rate,
+            subsample=0.8,
+            seed=seed,
+        )
+
+
+class RFPredictor(_TreePredictor):
+    """Random forest (Alimpertis et al. [4])."""
+
+    name = "RF"
+
+    def __init__(self, n_estimators: int = 30, max_depth: int = 10) -> None:
+        super().__init__()
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+
+    def _new_model(self, seed: int) -> RandomForestRegressor:
+        return RandomForestRegressor(
+            n_estimators=self.n_estimators, max_depth=self.max_depth, seed=seed
+        )
+
+
+#: registry used by benchmarks; order matches Table 4's columns.
+PREDICTOR_REGISTRY: Dict[str, Type[Predictor]] = {
+    "Prophet": ProphetPredictor,
+    "LSTM": LSTMPredictor,
+    "TCN": TCNPredictor,
+    "Lumos5G": Lumos5GPredictor,
+    "GBDT": GBDTPredictor,
+    "RF": RFPredictor,
+    "Prism5G": Prism5GPredictor,
+}

@@ -1,0 +1,218 @@
+"""Prism5G: the CA-aware deep-learning throughput predictor (paper §5).
+
+Architecture (Fig 16):
+
+1. **Per-CC modeling** — a weights-shared RNN (LSTM by default, GRU
+   optional: the paper notes the building block is swappable) encodes
+   each component carrier's feature history ``X_c`` after gating it
+   with the RRC-derived activity mask: ``X'_c = X_c (.) I``.
+2. **CA event monitoring** — the binary mask vector ``I`` (built from
+   RRC SCell add/release signaling) is embedded into a dense vector
+   ``E`` describing the current channel combination.
+3. **Fusion learning** — ``h_f = Fusion([h_1..h_C, E])`` captures the
+   inter-carrier interplay (power splits, RB throttling) that §4.3
+   shows cannot be inferred from any single CC.
+4. **Aggregated prediction** — per-CC MLP heads on ``h'_c = h_c + h_f``
+   predict each carrier's future throughput; the aggregate is their
+   (mask-gated) sum: ``y = sum_c I_c * MLP(h'_c)``.
+
+Input packing: one flat array per time step —
+``[cc0 features.., cc1 features.., ..., mask bits.., aggregate tput]``
+(see :func:`pack_inputs`) so the standard Trainer can batch it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.modules import Embedding, Linear, LSTM, LSTMCell, GRU, MLP, Module, TransformerEncoder
+from ..nn.tensor import Tensor, concat, stack
+
+
+def pack_inputs(x: np.ndarray, mask: np.ndarray, y_hist: np.ndarray) -> np.ndarray:
+    """Pack (n, T, C, F) features + (n, T, C) mask + (n, T) history.
+
+    Returns a flat (n, T, C*F + C + 1) array; models unpack it knowing
+    (C, F).
+    """
+    n, t, c, f = x.shape
+    if mask.shape != (n, t, c):
+        raise ValueError(f"mask shape {mask.shape} does not match features {(n, t, c)}")
+    if y_hist.shape != (n, t):
+        raise ValueError(f"y_hist shape {y_hist.shape} does not match {(n, t)}")
+    return np.concatenate(
+        [x.reshape(n, t, c * f), mask, y_hist[..., None]], axis=2
+    )
+
+
+def unpack_inputs(packed: np.ndarray, n_ccs: int, n_features: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_inputs`."""
+    n, t, d = packed.shape
+    expected = n_ccs * n_features + n_ccs + 1
+    if d != expected:
+        raise ValueError(f"packed width {d} != expected {expected} for C={n_ccs}, F={n_features}")
+    x = packed[:, :, : n_ccs * n_features].reshape(n, t, n_ccs, n_features)
+    mask = packed[:, :, n_ccs * n_features : n_ccs * n_features + n_ccs]
+    y_hist = packed[:, :, -1]
+    return x, mask, y_hist
+
+
+class Prism5G(Module):
+    """The CA-aware throughput prediction model.
+
+    Parameters
+    ----------
+    n_ccs, n_features:
+        Carrier-slot count C and per-CC feature count F.
+    horizon:
+        Output sequence length (10 in the paper).
+    hidden:
+        RNN/MLP hidden width (paper: 128; scaled down by default since
+        the numpy substrate trains on CPU).
+    rnn:
+        ``"lstm"`` (paper default), ``"gru"``, or ``"transformer"``
+        (the paper's future-work variant) — the swappable block.
+    use_state_trigger:
+        Gate inputs and outputs with the RRC mask (ablation: Table 13
+        "No State").
+    use_fusion:
+        Enable the fusion module (ablation: Table 13 "No Fusion").
+    embed_dim:
+        Dense size of the channel-combination embedding E.
+    head:
+        ``"decoder"`` (default): a weight-shared autoregressive LSTM
+        decoder emits the horizon step by step per carrier — the same
+        sequence-output discipline as Lumos5G's Seq2Seq, which trains
+        markedly better on this substrate.  ``"mlp"``: the paper's
+        literal one-shot MLP head (kept for fidelity/ablation).
+    """
+
+    def __init__(
+        self,
+        n_ccs: int,
+        n_features: int,
+        horizon: int = 10,
+        hidden: int = 32,
+        rnn: str = "lstm",
+        use_state_trigger: bool = True,
+        use_fusion: bool = True,
+        embed_dim: int = 8,
+        head: str = "decoder",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if rnn not in ("lstm", "gru", "transformer"):
+            raise ValueError("rnn must be 'lstm', 'gru' or 'transformer'")
+        if head not in ("decoder", "mlp"):
+            raise ValueError("head must be 'decoder' or 'mlp'")
+        rng = np.random.default_rng(seed)
+        self.n_ccs = n_ccs
+        self.n_features = n_features
+        self.horizon = horizon
+        self.hidden = hidden
+        self.use_state_trigger = use_state_trigger
+        self.use_fusion = use_fusion
+        self.head_kind = head
+        # shared per-CC encoder: features + own mask bit + aggregate history
+        in_size = n_features + 2
+        if rnn == "lstm":
+            self.encoder = LSTM(in_size, hidden, num_layers=2, rng=rng)
+        elif rnn == "gru":
+            self.encoder = GRU(in_size, hidden, num_layers=2, rng=rng)
+        else:  # the paper's future-work variant (§9): transformer block
+            self.encoder = TransformerEncoder(in_size, hidden, num_layers=1, rng=rng)
+        self._rnn_kind = rnn
+        self.combo_embedding = Embedding(2 ** n_ccs, embed_dim, rng=rng)
+        self.fusion = MLP(n_ccs * hidden + embed_dim, [hidden], hidden, rng=rng)
+        if head == "mlp":
+            self.head = MLP(hidden, [hidden], horizon, rng=rng)
+        else:
+            self.decoder_cell = LSTMCell(1, hidden, rng=rng)
+            self.decoder_out = Linear(hidden, 1, rng=rng)
+
+    def _decode(self, h_c: Tensor) -> Tensor:
+        """Roll the shared decoder ``horizon`` steps from state ``h_c``."""
+        batch = h_c.shape[0]
+        hidden_state = h_c
+        cell_state = Tensor(np.zeros((batch, self.hidden)))
+        step_input = Tensor(np.zeros((batch, 1)))
+        outputs: List[Tensor] = []
+        for _ in range(self.horizon):
+            hidden_state, cell_state = self.decoder_cell(step_input, (hidden_state, cell_state))
+            prediction = self.decoder_out(hidden_state)
+            outputs.append(prediction)
+            step_input = prediction
+        return concat(outputs, axis=1)
+
+    def _apply_head(self, h_c: Tensor) -> Tensor:
+        if self.head_kind == "mlp":
+            return self.head(h_c)
+        return self._decode(h_c)
+
+    # ------------------------------------------------------------------
+    def _per_cc_predictions(self, packed) -> List[Tensor]:
+        """Per-carrier forecast tensors, each (batch, horizon)."""
+        data = packed.data if isinstance(packed, Tensor) else np.asarray(packed)
+        x, mask, y_hist = unpack_inputs(data, self.n_ccs, self.n_features)
+
+        hidden_states: List[Tensor] = []
+        for c in range(self.n_ccs):
+            features_c = x[:, :, c, :]
+            mask_c = mask[:, :, c : c + 1]
+            if self.use_state_trigger:
+                features_c = features_c * mask_c  # X'_c = X_c (.) I
+            inp = Tensor(np.concatenate([features_c, mask_c, y_hist[..., None]], axis=2))
+            out, _ = self.encoder(inp)
+            hidden_states.append(out[:, -1, :])
+
+        if self.use_fusion:
+            combo_index = self._combo_indices(mask)
+            embed = self.combo_embedding(combo_index)
+            h_fusion = self.fusion(concat(hidden_states + [embed], axis=1))
+        else:
+            h_fusion = None
+
+        last_mask = mask[:, -1, :]
+        preds: List[Tensor] = []
+        for c in range(self.n_ccs):
+            h_c = hidden_states[c] if h_fusion is None else hidden_states[c] + h_fusion
+            pred_c = self._apply_head(h_c)
+            if self.use_state_trigger:
+                pred_c = pred_c * Tensor(last_mask[:, c : c + 1])
+            preds.append(pred_c)
+        return preds
+
+    def forward(self, packed: Tensor) -> Tensor:
+        """Predict ``(batch, horizon * (1 + C))``: aggregate then per-CC.
+
+        Columns ``[:horizon]`` are the aggregate forecast (the sum of
+        the per-CC heads); the rest are the per-CC forecasts flattened
+        ``(horizon, C)``-major, used for per-carrier supervision and
+        Fig 33-34 style per-cell plots.  Use
+        :meth:`aggregate_prediction` / :meth:`predict_per_cc` to slice.
+        """
+        per_cc = self._per_cc_predictions(packed)
+        total: Optional[Tensor] = None
+        for pred_c in per_cc:
+            total = pred_c if total is None else total + pred_c
+        per_cc_stacked = stack(per_cc, axis=2)  # (B, H, C)
+        batch = per_cc_stacked.shape[0]
+        return concat([total, per_cc_stacked.reshape(batch, self.horizon * self.n_ccs)], axis=1)
+
+    def _combo_indices(self, mask: np.ndarray) -> np.ndarray:
+        """Encode the final-step activity pattern as an integer id."""
+        last = (mask[:, -1, :] > 0.5).astype(np.int64)
+        weights = (1 << np.arange(self.n_ccs)).astype(np.int64)
+        return last @ weights
+
+    # ------------------------------------------------------------------
+    def aggregate_prediction(self, packed: np.ndarray) -> np.ndarray:
+        """Aggregate forecast only, shape (batch, horizon)."""
+        return self.forward(Tensor(np.asarray(packed))).numpy()[:, : self.horizon]
+
+    def predict_per_cc(self, packed: np.ndarray) -> np.ndarray:
+        """Per-carrier predictions, shape (batch, C, horizon) (Fig 33-34)."""
+        preds = self._per_cc_predictions(np.asarray(packed))
+        return np.stack([p.numpy() for p in preds], axis=1)

@@ -1,0 +1,31 @@
+"""Dataset construction: windowing, normalization, splits (Table 11)."""
+
+from .artifacts import dataset_summary, load_trace_set, save_trace_set
+from .datasets import (
+    ALL_SUBDATASETS,
+    MLDataset,
+    SubDatasetSpec,
+    build_subdataset,
+    generate_traces,
+    normalize_windows,
+)
+from .splits import random_split, trace_level_split
+from .windowing import WindowedDataset, flatten_for_trees, window_trace, window_traces
+
+__all__ = [
+    "ALL_SUBDATASETS",
+    "MLDataset",
+    "SubDatasetSpec",
+    "WindowedDataset",
+    "build_subdataset",
+    "dataset_summary",
+    "flatten_for_trees",
+    "load_trace_set",
+    "save_trace_set",
+    "generate_traces",
+    "normalize_windows",
+    "random_split",
+    "trace_level_split",
+    "window_trace",
+    "window_traces",
+]

@@ -1,0 +1,86 @@
+"""Dataset artifacts: persist and reload whole trace sets.
+
+The paper releases its measurement datasets publicly; this module gives
+the synthetic equivalents the same shape — a directory of JSONL traces
+plus a manifest — so downstream users can regenerate, share, and reload
+identical datasets without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..ran.traces import Trace, TraceSet
+
+MANIFEST_NAME = "manifest.json"
+
+
+def save_trace_set(traces: TraceSet, directory: Union[str, Path], name: str = "dataset") -> Path:
+    """Write every trace as JSONL plus a manifest; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entries: List[Dict] = []
+    for index, trace in enumerate(traces):
+        filename = (
+            f"{name}_{trace.operator}_{trace.rat}_{trace.scenario}_"
+            f"{trace.mobility}_{index:04d}.jsonl"
+        )
+        trace.to_jsonl(directory / filename)
+        entries.append(
+            {
+                "file": filename,
+                "operator": trace.operator,
+                "rat": trace.rat,
+                "scenario": trace.scenario,
+                "mobility": trace.mobility,
+                "modem": trace.modem,
+                "dt_s": trace.dt_s,
+                "samples": len(trace),
+                "seed": trace.seed,
+                "route_id": trace.route_id,
+            }
+        )
+    manifest = {"name": name, "n_traces": len(entries), "traces": entries}
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_trace_set(
+    directory: Union[str, Path],
+    operator: Optional[str] = None,
+    rat: Optional[str] = None,
+    scenario: Optional[str] = None,
+) -> TraceSet:
+    """Reload a trace set saved by :func:`save_trace_set`, with filters."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    traces = []
+    for entry in manifest["traces"]:
+        if operator is not None and entry["operator"] != operator:
+            continue
+        if rat is not None and entry["rat"] != rat:
+            continue
+        if scenario is not None and entry["scenario"] != scenario:
+            continue
+        traces.append(Trace.from_jsonl(directory / entry["file"]))
+    return TraceSet(traces)
+
+
+def dataset_summary(directory: Union[str, Path]) -> Dict:
+    """Manifest-level summary without loading any trace bodies."""
+    manifest = json.loads((Path(directory) / MANIFEST_NAME).read_text())
+    total_samples = sum(e["samples"] for e in manifest["traces"])
+    total_minutes = sum(e["samples"] * e["dt_s"] for e in manifest["traces"]) / 60.0
+    operators = sorted({e["operator"] for e in manifest["traces"]})
+    return {
+        "name": manifest["name"],
+        "n_traces": manifest["n_traces"],
+        "total_samples": total_samples,
+        "total_minutes": total_minutes,
+        "operators": operators,
+    }

@@ -1,0 +1,159 @@
+"""The six ML sub-datasets of the paper's Table 11.
+
+Operators {OpX, OpY, OpZ} x mobility {walking, driving}, each at two
+granularities (10 ms with a 100 ms horizon; 1 s with a 10 s horizon),
+10 traces of 300-600 samples per scenario.  Traces come from the RAN
+simulator instead of the authors' XCAL captures (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.preprocessing import MinMaxScaler
+from ..ran.simulator import TraceSimulator
+from ..ran.traces import Trace, TraceSet
+from .windowing import WindowedDataset, window_traces
+
+
+@dataclass(frozen=True)
+class SubDatasetSpec:
+    """One row of the paper's Table 11 at one time scale."""
+
+    operator: str
+    mobility: str  #: "walking" or "driving"
+    timescale: str  #: "short" (10 ms) or "long" (1 s)
+
+    @property
+    def dt_s(self) -> float:
+        return 0.01 if self.timescale == "short" else 1.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.operator} ({self.mobility.capitalize()}) [{self.timescale}]"
+
+
+ALL_SUBDATASETS: Tuple[SubDatasetSpec, ...] = tuple(
+    SubDatasetSpec(operator, mobility, timescale)
+    for timescale in ("short", "long")
+    for operator in ("OpX", "OpY", "OpZ")
+    for mobility in ("walking", "driving")
+)
+
+
+#: phones rotated through the campaign, as in the paper's Table 5
+#: (9 phones across 4 modem generations with different CA capability).
+CAMPAIGN_MODEMS: Tuple[str, ...] = ("X70", "X65", "X60", "X70")
+
+#: measurement hours rotated per run (the paper collects mostly at
+#: midnight but includes day-time runs, Appendix B.2).
+CAMPAIGN_HOURS: Tuple[float, ...] = (0.5, 12.5, 18.5, 3.0)
+
+
+def generate_traces(
+    spec: SubDatasetSpec,
+    n_traces: int = 10,
+    samples_per_trace: int = 400,
+    seed: int = 0,
+    modem: Optional[str] = None,
+) -> TraceSet:
+    """Generate the raw traces for one sub-dataset.
+
+    Traces rotate scenario, UE modem, and time of day, matching the
+    heterogeneity of the paper's campaign (different routes, phones and
+    collection times per sub-dataset).  Pass ``modem`` to pin one phone.
+    """
+    if n_traces < 1:
+        raise ValueError("n_traces must be >= 1")
+    traces: List[Trace] = []
+    # Table 11: walking covers outdoor-urban + indoor; driving covers
+    # urban + suburban + beltway (highway).
+    if spec.mobility == "driving":
+        scenarios = ("urban", "suburban", "highway")
+    else:
+        scenarios = ("urban", "urban", "indoor")
+    for run in range(n_traces):
+        scenario = scenarios[run % len(scenarios)]
+        mobility = "indoor" if scenario == "indoor" else spec.mobility
+        sim = TraceSimulator(
+            operator=spec.operator,
+            scenario=scenario,
+            mobility=mobility,
+            modem=modem or CAMPAIGN_MODEMS[run % len(CAMPAIGN_MODEMS)],
+            rat="5G",
+            dt_s=spec.dt_s,
+            hour=CAMPAIGN_HOURS[run % len(CAMPAIGN_HOURS)],
+            seed=seed * 1000 + run,
+        )
+        traces.append(sim.run(samples_per_trace * spec.dt_s, route_id=run))
+    return TraceSet(traces)
+
+
+@dataclass
+class MLDataset:
+    """A windowed, min-max-normalized dataset plus its scalers."""
+
+    windows: WindowedDataset
+    feature_scaler: MinMaxScaler
+    target_scaler: MinMaxScaler
+    spec: Optional[SubDatasetSpec] = None
+
+    def denormalize_tput(self, y: np.ndarray) -> np.ndarray:
+        """Map normalized throughput back to Mbps."""
+        return self.target_scaler.inverse_transform(np.asarray(y).reshape(-1, 1)).reshape(np.asarray(y).shape)
+
+
+def normalize_windows(windows: WindowedDataset) -> MLDataset:
+    """Fit min-max scalers (paper Appendix C.1) and normalize in place.
+
+    Per-CC features are scaled columnwise over all (pair, time, cc)
+    samples; throughput (history and target) shares one scaler so the
+    two stay commensurate.
+    """
+    n, t, c, f = windows.x.shape
+    feature_scaler = MinMaxScaler().fit(windows.x.reshape(-1, f))
+    x_norm = feature_scaler.transform(windows.x.reshape(-1, f)).reshape(n, t, c, f)
+    tput = np.concatenate([windows.y.reshape(-1), windows.y_hist.reshape(-1)])
+    target_scaler = MinMaxScaler().fit(tput.reshape(-1, 1))
+    y_norm = target_scaler.transform(windows.y.reshape(-1, 1)).reshape(windows.y.shape)
+    y_hist_norm = target_scaler.transform(windows.y_hist.reshape(-1, 1)).reshape(windows.y_hist.shape)
+    y_cc_norm = None
+    if windows.y_cc is not None:
+        # per-CC targets share the aggregate scaler so their sum stays
+        # commensurate with the total (up to the shared offset).
+        span = target_scaler._range[0]
+        y_cc_norm = windows.y_cc / span
+    normalized = WindowedDataset(
+        x=x_norm,
+        mask=windows.mask,
+        y=y_norm,
+        y_hist=y_hist_norm,
+        trace_ids=windows.trace_ids,
+        y_cc=y_cc_norm,
+    )
+    return MLDataset(windows=normalized, feature_scaler=feature_scaler, target_scaler=target_scaler)
+
+
+def build_subdataset(
+    spec: SubDatasetSpec,
+    n_traces: int = 10,
+    samples_per_trace: int = 400,
+    history: int = 10,
+    horizon: int = 10,
+    max_ccs: int = 4,
+    stride: int = 1,
+    seed: int = 0,
+) -> MLDataset:
+    """Generate, window and normalize one of the Table 11 sub-datasets."""
+    traces = generate_traces(spec, n_traces, samples_per_trace, seed)
+    windows = window_traces(traces.traces, history, horizon, max_ccs, stride)
+    dataset = normalize_windows(windows)
+    return MLDataset(
+        windows=dataset.windows,
+        feature_scaler=dataset.feature_scaler,
+        target_scaler=dataset.target_scaler,
+        spec=spec,
+    )

@@ -1,0 +1,73 @@
+"""Train/validation/test splitting strategies.
+
+Two protocols from the paper:
+
+* **random split** (0.5 / 0.2 / 0.3, Appendix C.1) across all windowed
+  pairs — the main Table 4 protocol;
+* **trace-level split** — whole traces held out, used for the
+  generalizability study (Table 14: same route different runs, and new
+  routes entirely).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .windowing import WindowedDataset
+
+
+def _check_ratios(train: float, val: float, test: float) -> None:
+    if min(train, val, test) < 0 or abs(train + val + test - 1.0) > 1e-9:
+        raise ValueError("ratios must be non-negative and sum to 1")
+
+
+def random_split(
+    dataset: WindowedDataset,
+    train: float = 0.5,
+    val: float = 0.2,
+    test: float = 0.3,
+    seed: int = 0,
+) -> Tuple[WindowedDataset, WindowedDataset, WindowedDataset]:
+    """Randomly split windowed pairs (the paper's main protocol)."""
+    _check_ratios(train, val, test)
+    n = len(dataset)
+    order = np.random.default_rng(seed).permutation(n)
+    n_train = int(train * n)
+    n_val = int(val * n)
+    return (
+        dataset.subset(order[:n_train]),
+        dataset.subset(order[n_train : n_train + n_val]),
+        dataset.subset(order[n_train + n_val :]),
+    )
+
+
+def trace_level_split(
+    dataset: WindowedDataset,
+    train: float = 0.5,
+    val: float = 0.2,
+    test: float = 0.3,
+    seed: int = 0,
+) -> Tuple[WindowedDataset, WindowedDataset, WindowedDataset]:
+    """Split by whole traces so test windows come from unseen runs."""
+    _check_ratios(train, val, test)
+    trace_ids = np.unique(dataset.trace_ids)
+    order = np.random.default_rng(seed).permutation(trace_ids)
+    n = len(order)
+    n_train = max(1, int(round(train * n)))
+    n_val = max(1, int(round(val * n))) if n - n_train > 1 else 0
+    train_ids = set(order[:n_train].tolist())
+    val_ids = set(order[n_train : n_train + n_val].tolist())
+    test_ids = set(order[n_train + n_val :].tolist())
+    if not test_ids:
+        raise ValueError("not enough traces for a trace-level split")
+    idx = np.arange(len(dataset))
+    in_train = np.array([tid in train_ids for tid in dataset.trace_ids])
+    in_val = np.array([tid in val_ids for tid in dataset.trace_ids])
+    in_test = np.array([tid in test_ids for tid in dataset.trace_ids])
+    return (
+        dataset.subset(idx[in_train]),
+        dataset.subset(idx[in_val]),
+        dataset.subset(idx[in_test]),
+    )

@@ -1,0 +1,21 @@
+"""Statistical forecasting baselines (Prophet substitute, harmonic mean)."""
+
+from .baselines import EWMAPredictor, MovingAveragePredictor, PersistencePredictor
+from .harmonic import HarmonicMeanPredictor, harmonic_mean
+from .metrics import bias, forecast_report, horizon_rmse, mase, smape
+from .prophet import RollingProphet, StructuralProphet
+
+__all__ = [
+    "EWMAPredictor",
+    "HarmonicMeanPredictor",
+    "MovingAveragePredictor",
+    "PersistencePredictor",
+    "RollingProphet",
+    "StructuralProphet",
+    "bias",
+    "forecast_report",
+    "harmonic_mean",
+    "horizon_rmse",
+    "mase",
+    "smape",
+]

@@ -1,0 +1,48 @@
+"""Trivial forecasting baselines (persistence, moving average, EWMA)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PersistencePredictor:
+    """Predict the last observed value for the whole horizon."""
+
+    def predict(self, history: np.ndarray, horizon: int = 1) -> np.ndarray:
+        history = np.asarray(history, dtype=np.float64).reshape(-1)
+        if history.size == 0:
+            raise ValueError("history is empty")
+        return np.full(horizon, history[-1])
+
+
+class MovingAveragePredictor:
+    """Predict the arithmetic mean of the last ``window`` samples."""
+
+    def __init__(self, window: int = 5) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def predict(self, history: np.ndarray, horizon: int = 1) -> np.ndarray:
+        history = np.asarray(history, dtype=np.float64).reshape(-1)
+        if history.size == 0:
+            raise ValueError("history is empty")
+        return np.full(horizon, history[-self.window:].mean())
+
+
+class EWMAPredictor:
+    """Exponentially weighted moving-average forecaster."""
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def predict(self, history: np.ndarray, horizon: int = 1) -> np.ndarray:
+        history = np.asarray(history, dtype=np.float64).reshape(-1)
+        if history.size == 0:
+            raise ValueError("history is empty")
+        level = history[0]
+        for value in history[1:]:
+            level = self.alpha * value + (1.0 - self.alpha) * level
+        return np.full(horizon, level)

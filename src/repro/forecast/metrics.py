@@ -1,0 +1,71 @@
+"""Forecast-quality metrics beyond plain RMSE.
+
+Used by the evaluation notebooks/benches to slice prediction quality:
+per-horizon-step error curves, scale-free errors (sMAPE, MASE), and
+over/under-estimation bias — the quantity behind the paper's Z1/Z2
+transition analysis (naive models over-estimate after CC drops).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def _check(pred: np.ndarray, target: np.ndarray) -> tuple:
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if pred.size == 0:
+        raise ValueError("empty inputs")
+    return pred, target
+
+
+def horizon_rmse(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Per-step RMSE over the forecast horizon; inputs are (n, H)."""
+    pred, target = _check(pred, target)
+    if pred.ndim != 2:
+        raise ValueError("expected (n, horizon) arrays")
+    return np.sqrt(np.mean((pred - target) ** 2, axis=0))
+
+
+def smape(pred: np.ndarray, target: np.ndarray, eps: float = 1e-9) -> float:
+    """Symmetric MAPE in percent (bounded in [0, 200])."""
+    pred, target = _check(pred, target)
+    denom = np.maximum((np.abs(pred) + np.abs(target)) / 2.0, eps)
+    return float(np.mean(np.abs(pred - target) / denom) * 100.0)
+
+
+def mase(pred: np.ndarray, target: np.ndarray, history: np.ndarray) -> float:
+    """Mean absolute scaled error vs the naive persistence forecaster.
+
+    ``history`` is the (n, T) history whose last value seeds the naive
+    forecast; MASE < 1 means the model beats persistence.
+    """
+    pred, target = _check(pred, target)
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim != 2 or len(history) != len(pred):
+        raise ValueError("history must be (n, T) aligned with pred")
+    naive = np.repeat(history[:, -1:], target.shape[1], axis=1)
+    naive_mae = np.mean(np.abs(naive - target))
+    if naive_mae < 1e-12:
+        raise ValueError("persistence error is zero; MASE undefined")
+    return float(np.mean(np.abs(pred - target)) / naive_mae)
+
+
+def bias(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean signed error: positive = over-estimation."""
+    pred, target = _check(pred, target)
+    return float(np.mean(pred - target))
+
+
+def forecast_report(pred: np.ndarray, target: np.ndarray, history: np.ndarray) -> Dict[str, float]:
+    """All scalar metrics in one dict."""
+    return {
+        "rmse": float(np.sqrt(np.mean((np.asarray(pred) - np.asarray(target)) ** 2))),
+        "smape_pct": smape(pred, target),
+        "mase": mase(pred, target, history),
+        "bias": bias(pred, target),
+    }

@@ -1,0 +1,72 @@
+"""Numpy-based neural network substrate (autograd, modules, training).
+
+Replaces PyTorch, which the paper uses but is unavailable offline.
+"""
+
+from .losses import mae, mae_loss, mape, mse_loss, rmse, rmse_loss
+from .modules import (
+    MLP,
+    TCN,
+    CausalConv1d,
+    CausalSelfAttention,
+    Dropout,
+    Embedding,
+    GRU,
+    GRUCell,
+    LayerNorm,
+    Linear,
+    LSTM,
+    LSTMCell,
+    Module,
+    ReLU,
+    Sequential,
+    Tanh,
+    TCNBlock,
+    TransformerEncoder,
+)
+from .optim import Adam, Optimizer, SGD
+from .preprocessing import MinMaxScaler, StandardScaler
+from .serialization import load_state, save_state
+from .tensor import Tensor, concat, numerical_gradient, stack, where
+from .training import Trainer, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "CausalConv1d",
+    "CausalSelfAttention",
+    "Dropout",
+    "Embedding",
+    "GRU",
+    "GRUCell",
+    "LayerNorm",
+    "Linear",
+    "LSTM",
+    "LSTMCell",
+    "MLP",
+    "MinMaxScaler",
+    "Module",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "StandardScaler",
+    "TCN",
+    "TCNBlock",
+    "Tanh",
+    "Tensor",
+    "TransformerEncoder",
+    "Trainer",
+    "TrainingHistory",
+    "concat",
+    "load_state",
+    "mae",
+    "mae_loss",
+    "mape",
+    "mse_loss",
+    "numerical_gradient",
+    "rmse",
+    "rmse_loss",
+    "save_state",
+    "stack",
+    "where",
+]

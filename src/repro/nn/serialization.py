@@ -1,0 +1,23 @@
+"""Save/load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_state(model: Module, path: Union[str, Path]) -> None:
+    """Write ``model.state_dict()`` to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **model.state_dict())
+
+
+def load_state(model: Module, path: Union[str, Path]) -> None:
+    """Load parameters saved by :func:`save_state` into ``model``."""
+    with np.load(Path(path)) as archive:
+        model.load_state_dict({key: archive[key] for key in archive.files})

@@ -1,0 +1,135 @@
+"""Generic mini-batch training loop with validation-based model selection.
+
+Mirrors the paper's protocol (Appendix C.1): Adam, RMSE loss, the best
+epoch chosen on the validation set, early stopping with patience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .losses import mse_loss
+from .modules import Module
+from .optim import Adam
+from .tensor import Tensor
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves plus the selected (best) epoch."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_val_loss: float = float("inf")
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Train a model whose ``forward`` maps input batch -> prediction Tensor.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`Module`.
+    loss_fn:
+        Differentiable loss ``(pred, target) -> Tensor``; defaults to MSE
+        (equivalent to optimizing RMSE).
+    forward_fn:
+        Optional override used when the model requires non-array inputs
+        (e.g. Prism5G takes an extra mask); called as
+        ``forward_fn(model, x_batch)``.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 0.01,
+        batch_size: int = 128,
+        max_epochs: int = 200,
+        patience: int = 20,
+        loss_fn: Callable[[Tensor, Tensor], Tensor] = mse_loss,
+        forward_fn: Optional[Callable] = None,
+        grad_clip: Optional[float] = 5.0,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.model = model
+        self.optimizer = Adam(model.parameters(), lr=lr, grad_clip=grad_clip)
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.loss_fn = loss_fn
+        self.forward_fn = forward_fn or (lambda model, x: model(Tensor(x)))
+        self.rng = np.random.default_rng(seed)
+        self.verbose = verbose
+
+    def _epoch(self, x: np.ndarray, y: np.ndarray, train: bool) -> float:
+        n = len(x)
+        order = self.rng.permutation(n) if train else np.arange(n)
+        total, count = 0.0, 0
+        self.model.train(train)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            pred = self.forward_fn(self.model, x[idx])
+            loss = self.loss_fn(pred, Tensor(y[idx]))
+            if train:
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+            total += loss.item() * len(idx)
+            count += len(idx)
+        return total / max(count, 1)
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+    ) -> TrainingHistory:
+        """Train and restore the best-validation-loss parameters."""
+        if len(x_train) != len(y_train):
+            raise ValueError("x_train and y_train must have equal length")
+        history = TrainingHistory()
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        stale = 0
+        for epoch in range(self.max_epochs):
+            train_loss = self._epoch(x_train, y_train, train=True)
+            history.train_loss.append(train_loss)
+            if x_val is not None and len(x_val):
+                val_loss = self._epoch(x_val, y_val, train=False)
+            else:
+                val_loss = train_loss
+            history.val_loss.append(val_loss)
+            if val_loss < history.best_val_loss - 1e-9:
+                history.best_val_loss = val_loss
+                history.best_epoch = epoch
+                best_state = self.model.state_dict()
+                stale = 0
+            else:
+                stale += 1
+            if self.verbose:
+                print(f"epoch {epoch:3d} train {train_loss:.5f} val {val_loss:.5f}")
+            if stale >= self.patience:
+                break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history
+
+    def predict(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Run the model in eval mode over ``x`` in batches."""
+        self.model.eval()
+        bs = batch_size or self.batch_size
+        outputs = []
+        for start in range(0, len(x), bs):
+            pred = self.forward_fn(self.model, x[start : start + bs])
+            outputs.append(pred.numpy())
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,150 @@
+"""Measurement-campaign orchestration and CA deployment statistics.
+
+Replays the paper's campaign structure (Table 1): for each operator x
+scenario x mobility, generate traces and summarize what a measurement
+analyst would report — unique channels, CA combinations (ordered and
+as unique sets, the "270/162"-style counts of Table 2), CA prevalence
+(Fig 25), CC-count spatial maps (Fig 4), and peak/average throughput.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .operators import OPERATORS, get_operator
+from .simulator import TraceSimulator
+from .traces import Trace, TraceSet
+
+
+@dataclass
+class CAStatistics:
+    """Aggregated CA observations over a set of traces."""
+
+    operator: str
+    rat: str
+    unique_channels: int
+    ordered_combos: int
+    unique_combos: int
+    max_ccs: int
+    ca_prevalence: float  #: fraction of samples with >= 2 active CCs
+    peak_tput_mbps: float
+    mean_tput_mbps: float
+    combo_counter: Counter = field(default_factory=Counter)
+
+    def top_combos(self, k: int = 5) -> List[Tuple[str, int]]:
+        return self.combo_counter.most_common(k)
+
+
+def analyze_traces(traces: Sequence[Trace], operator: str = "", rat: str = "5G") -> CAStatistics:
+    """Compute Table-2-style statistics from traces."""
+    channels = set()
+    ordered: Counter = Counter()
+    unique_sets = set()
+    max_ccs = 0
+    ca_samples = 0
+    total_samples = 0
+    peak = 0.0
+    tputs: List[float] = []
+    for trace in traces:
+        for rec in trace.records:
+            total_samples += 1
+            tputs.append(rec.total_tput_mbps)
+            peak = max(peak, rec.total_tput_mbps)
+            active = [cc for cc in rec.ccs if cc.active]
+            if not active:
+                continue
+            for cc in active:
+                channels.add(cc.channel_key)
+            max_ccs = max(max_ccs, len(active))
+            if len(active) >= 2:
+                ca_samples += 1
+                ordered[rec.combo_channels] += 1
+                unique_sets.add(frozenset(cc.channel_key for cc in active))
+    return CAStatistics(
+        operator=operator,
+        rat=rat,
+        unique_channels=len(channels),
+        ordered_combos=len(ordered),
+        unique_combos=len(unique_sets),
+        max_ccs=max_ccs,
+        ca_prevalence=ca_samples / total_samples if total_samples else 0.0,
+        peak_tput_mbps=peak,
+        mean_tput_mbps=float(np.mean(tputs)) if tputs else 0.0,
+        combo_counter=ordered,
+    )
+
+
+@dataclass
+class CampaignConfig:
+    """Scope of a synthetic measurement campaign."""
+
+    operators: Tuple[str, ...] = ("OpX", "OpY", "OpZ")
+    scenarios: Tuple[str, ...] = ("urban", "suburban", "highway")
+    rats: Tuple[str, ...] = ("4G", "5G")
+    traces_per_cell: int = 2
+    duration_s: float = 60.0
+    dt_s: float = 1.0
+    modem: str = "X70"
+    seed: int = 0
+
+
+@dataclass
+class CampaignResult:
+    """All traces plus per-(operator, rat, scenario) statistics."""
+
+    traces: TraceSet
+    stats: Dict[Tuple[str, str, str], CAStatistics]
+
+    def prevalence_table(self) -> Dict[str, Dict[str, float]]:
+        """operator -> scenario -> 5G CA prevalence (paper Fig 25)."""
+        table: Dict[str, Dict[str, float]] = {}
+        for (operator, rat, scenario), stat in self.stats.items():
+            if rat != "5G":
+                continue
+            table.setdefault(operator, {})[scenario] = stat.ca_prevalence
+        return table
+
+
+def _mobility_for(scenario: str) -> str:
+    return {"urban": "driving", "suburban": "driving", "highway": "driving", "indoor": "indoor"}[scenario]
+
+
+def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run the full campaign and compute per-cell statistics."""
+    config = config or CampaignConfig()
+    all_traces: List[Trace] = []
+    stats: Dict[Tuple[str, str, str], CAStatistics] = {}
+    seed = config.seed
+    for operator in config.operators:
+        for rat in config.rats:
+            for scenario in config.scenarios:
+                cell_traces: List[Trace] = []
+                for run in range(config.traces_per_cell):
+                    seed += 1
+                    sim = TraceSimulator(
+                        operator=operator,
+                        scenario=scenario,
+                        mobility=_mobility_for(scenario),
+                        modem=config.modem,
+                        rat=rat,
+                        dt_s=config.dt_s,
+                        seed=seed,
+                        area_m=1_500.0 if scenario != "urban" else 1_000.0,
+                    )
+                    cell_traces.append(sim.run(config.duration_s, route_id=run))
+                stats[(operator, rat, scenario)] = analyze_traces(cell_traces, operator, rat)
+                all_traces.extend(cell_traces)
+    return CampaignResult(traces=TraceSet(all_traces), stats=stats)
+
+
+def cc_spatial_map(trace: Trace, grid_m: float = 50.0) -> Dict[Tuple[int, int], float]:
+    """Mean active-CC count per spatial grid cell (paper Fig 4)."""
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    for rec in trace.records:
+        key = (int(rec.position[0] // grid_m), int(rec.position[1] // grid_m))
+        buckets.setdefault(key, []).append(rec.n_active_ccs)
+    return {key: float(np.mean(values)) for key, values in buckets.items()}

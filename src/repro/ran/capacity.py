@@ -1,0 +1,68 @@
+"""Theoretical channel capacity (paper Appendix B.1).
+
+Computes the peak PHY-layer data rate of a channel or CA combination
+from the TS 38.214 TBS machinery — the "theoretical calculation of PHY
+throughput" referenced in §4.1 — and the headroom of measured traces
+against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .bands import get_band
+from .phy import (
+    MAX_MCS_INDEX,
+    duplex_dl_duty,
+    num_resource_blocks,
+    phy_throughput_mbps,
+)
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A (band, bandwidth) channel for capacity computation."""
+
+    band_name: str
+    bandwidth_mhz: float
+    n_layers: int = 4
+
+
+def channel_capacity_mbps(spec: ChannelSpec, mcs_index: int = MAX_MCS_INDEX) -> float:
+    """Peak sustained rate of one channel: top MCS, full RB allocation.
+
+    Applies the band's duplex DL duty (TDD spends slots on uplink) and
+    its default SCS.
+    """
+    band = get_band(spec.band_name)
+    scs = band.default_scs_khz
+    n_rb = num_resource_blocks(spec.bandwidth_mhz, scs, band.rat)
+    layers = min(spec.n_layers, 2 if band.rat == "4G" else 4)
+    return phy_throughput_mbps(
+        mcs_index,
+        n_rb,
+        layers,
+        scs,
+        dl_duty=duplex_dl_duty(band.duplex),
+    )
+
+
+def aggregate_capacity_mbps(specs: Sequence[ChannelSpec]) -> float:
+    """Upper bound of a CA combination: sum of per-CC capacities.
+
+    This is the *theoretical* sum the paper's Fig 6 compares against —
+    real aggregates fall short because of power splits, MIMO-layer
+    reductions and RB throttling (see ``repro.ran.ca``).
+    """
+    if not specs:
+        raise ValueError("need at least one channel")
+    return sum(channel_capacity_mbps(spec) for spec in specs)
+
+
+def utilization(measured_mbps: float, specs: Sequence[ChannelSpec]) -> float:
+    """Measured throughput as a fraction of the theoretical capacity."""
+    capacity = aggregate_capacity_mbps(specs)
+    if measured_mbps < 0:
+        raise ValueError("measured throughput must be non-negative")
+    return measured_mbps / capacity

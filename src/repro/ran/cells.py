@@ -1,0 +1,182 @@
+"""Cells, base stations, and per-scenario deployments.
+
+Each base station hosts one or more *cells* (a channel within a band,
+with its own PCI) — the left panel of the paper's Fig 3.  Deployment
+generators place sites with scenario-appropriate inter-site distances
+and per-operator band inventories, so that a moving UE sees exactly the
+phenomenon the paper maps in Fig 4: the set of coverage-overlapping
+channels (hence possible CA combinations) changes along the route.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .bands import Band, get_band
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One channel (component-carrier candidate) at a site."""
+
+    cell_id: int
+    pci: int
+    band: Band
+    bandwidth_mhz: float
+    scs_khz: int
+    position: Tuple[float, float]
+    tx_power_dbm: float
+    channel_key: str  #: e.g. "n41@2506" — distinguishes co-band channels
+
+    @property
+    def is_5g(self) -> bool:
+        return self.band.is_5g
+
+    def __repr__(self) -> str:
+        return f"Cell({self.channel_key}, {self.bandwidth_mhz:g} MHz, pci={self.pci})"
+
+
+@dataclass
+class BaseStation:
+    """A site hosting co-located cells (possibly multiple bands)."""
+
+    site_id: int
+    position: Tuple[float, float]
+    cells: List[Cell] = field(default_factory=list)
+
+
+#: typical total transmit power by band class (mmWave is beamformed EIRP).
+_TX_POWER_DBM = {"low": 46.0, "mid": 46.0, "high": 50.0}
+
+#: coverage radius heuristics by band class (metres) for cell placement sanity.
+COVERAGE_RADIUS_M = {"low": 3_000.0, "mid": 1_200.0, "high": 200.0}
+
+
+class Deployment:
+    """A set of base stations covering a scenario area."""
+
+    def __init__(self, stations: Sequence[BaseStation]) -> None:
+        if not stations:
+            raise ValueError("deployment needs at least one base station")
+        self.stations = list(stations)
+        self.cells: List[Cell] = [cell for bs in self.stations for cell in bs.cells]
+        self._cell_site: Dict[int, int] = {
+            cell.cell_id: bs.site_id for bs in self.stations for cell in bs.cells
+        }
+
+    def site_of(self, cell: Cell) -> int:
+        return self._cell_site[cell.cell_id]
+
+    def cells_near(self, position: Tuple[float, float], max_distance_m: Optional[float] = None) -> List[Cell]:
+        """Cells whose class-based coverage radius reaches ``position``."""
+        out = []
+        for cell in self.cells:
+            distance = math.dist(position, cell.position)
+            radius = COVERAGE_RADIUS_M[cell.band.band_class]
+            limit = radius if max_distance_m is None else min(radius, max_distance_m)
+            if distance <= limit:
+                out.append(cell)
+        return out
+
+    def unique_channels(self, rat: Optional[str] = None) -> List[str]:
+        """Distinct channel keys in the deployment (optionally by RAT)."""
+        keys = {
+            cell.channel_key
+            for cell in self.cells
+            if rat is None or cell.band.rat == rat
+        }
+        return sorted(keys)
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """A channel an operator deploys: band + bandwidth (+ count per site)."""
+
+    band_name: str
+    bandwidth_mhz: float
+    per_site: int = 1  #: co-channel instances per site (e.g. two n41 carriers)
+
+
+def _site_positions(scenario: str, area_m: float, rng: np.random.Generator) -> List[Tuple[float, float]]:
+    """Site layout per scenario: dense urban grid, sparse suburban, linear highway."""
+    if scenario == "urban":
+        spacing = 350.0
+    elif scenario == "suburban":
+        spacing = 900.0
+    elif scenario == "highway":
+        spacing = 1_500.0
+    elif scenario == "indoor":
+        spacing = 400.0
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+    if scenario == "highway":
+        n = max(2, int(area_m / spacing))
+        return [
+            (i * spacing + rng.uniform(-100, 100), rng.uniform(-300, 300))
+            for i in range(n + 1)
+        ]
+    n = max(1, int(area_m / spacing))
+    positions = []
+    for i, j in itertools.product(range(n + 1), repeat=2):
+        jitter = rng.uniform(-spacing / 6, spacing / 6, size=2)
+        positions.append((i * spacing + jitter[0], j * spacing + jitter[1]))
+    return positions
+
+
+def build_deployment(
+    channel_plans: Sequence[ChannelPlan],
+    scenario: str = "urban",
+    area_m: float = 1_000.0,
+    seed: int = 0,
+    deploy_fraction: Optional[Dict[str, float]] = None,
+) -> Deployment:
+    """Place base stations and instantiate cells from channel plans.
+
+    ``deploy_fraction`` maps a band name to the fraction of sites that
+    carry it (e.g. mmWave only in dense pockets; OpX's sparse FR1 CA).
+    """
+    rng = np.random.default_rng(seed)
+    positions = _site_positions(scenario, area_m, rng)
+    stations: List[BaseStation] = []
+    cell_id = itertools.count(1)
+    pci = itertools.count(100)
+    # Assign each (plan, instance) a globally consistent spectrum slot so
+    # that, e.g., the 100 MHz n41 carrier has the same channel key at
+    # every site (distinct from the 40 MHz n41 carrier: n41^a vs n41^b).
+    plan_keys: Dict[Tuple[int, int], str] = {}
+    band_offsets: Dict[str, int] = {}
+    for plan_index, plan in enumerate(channel_plans):
+        band = get_band(plan.band_name)
+        for instance in range(plan.per_site):
+            offset = band_offsets.get(band.name, 0)
+            band_offsets[band.name] = offset + int(plan.bandwidth_mhz)
+            plan_keys[(plan_index, instance)] = f"{band.name}@{int(band.freq_mhz) + offset}"
+    for site_id, position in enumerate(positions):
+        cells: List[Cell] = []
+        for plan_index, plan in enumerate(channel_plans):
+            band = get_band(plan.band_name)
+            fraction = 1.0 if deploy_fraction is None else deploy_fraction.get(plan.band_name, 1.0)
+            if rng.random() > fraction:
+                continue
+            for instance in range(plan.per_site):
+                key = plan_keys[(plan_index, instance)]
+                cells.append(
+                    Cell(
+                        cell_id=next(cell_id),
+                        pci=next(pci) % 504,
+                        band=band,
+                        bandwidth_mhz=plan.bandwidth_mhz,
+                        scs_khz=band.default_scs_khz,
+                        position=position,
+                        tx_power_dbm=_TX_POWER_DBM[band.band_class],
+                        channel_key=key,
+                    )
+                )
+        if cells:
+            stations.append(BaseStation(site_id=site_id, position=position, cells=cells))
+    return Deployment(stations)

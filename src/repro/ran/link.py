@@ -1,0 +1,103 @@
+"""Link adaptation: CQI feedback, MCS selection, BLER, MIMO rank.
+
+Implements the feedback loop of §4.1: the UE reports CQI/RI derived
+from SINR; the gNB picks MCS and the number of MIMO layers.  Under CA
+the per-CC transmit power may be reduced (the base station's power
+amplifier is shared), which lowers SINR and hence the achievable rank —
+the mechanism behind the paper's Fig 14 observation that the same n25
+channel drops from 3 layers (no CA) to 1 layer (in a 3CC combo).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .phy import MAX_CQI, cqi_from_sinr, mcs_from_cqi
+
+
+#: SINR thresholds (dB) above which each additional MIMO layer is usable.
+RANK_SINR_THRESHOLDS_DB = (-math.inf, 9.0, 16.0, 22.0)
+
+
+def select_rank(sinr_db: float, max_layers: int = 4) -> int:
+    """Number of spatial layers supportable at this SINR (1..max_layers)."""
+    if max_layers < 1:
+        raise ValueError("max_layers must be >= 1")
+    rank = 1
+    for layer, threshold in enumerate(RANK_SINR_THRESHOLDS_DB, start=1):
+        if sinr_db >= threshold:
+            rank = layer
+    return min(rank, max_layers)
+
+
+def bler_from_sinr(sinr_db: float, mcs_index: int, steepness: float = 1.2) -> float:
+    """Block error rate as a sigmoid around the MCS's SINR threshold.
+
+    Link adaptation targets ~10% BLER; when the channel degrades before
+    CQI feedback catches up, BLER rises steeply.
+    """
+    # SINR needed for ~10% BLER at this MCS: efficiency inverted through
+    # the Shannon gap used by cqi_from_sinr.
+    from .phy import mcs_spectral_efficiency
+
+    eff = mcs_spectral_efficiency(mcs_index)
+    required = 10 * math.log10((2 ** eff - 1.0)) + 3.0
+    margin = sinr_db - required
+    bler = 1.0 / (1.0 + math.exp(steepness * margin + 2.2))  # ~10% at margin 0
+    return float(min(max(bler, 0.0), 0.95))
+
+
+@dataclass
+class LinkState:
+    """Per-CC link adaptation outputs for one reporting interval."""
+
+    cqi: int
+    mcs: int
+    rank: int
+    bler: float
+
+
+class LinkAdapter:
+    """Stateful link adaptation with delayed/noisy CQI feedback.
+
+    ``report_noise`` adds quantization/measurement noise to the CQI and
+    ``feedback_lag`` smooths MCS changes (outer-loop behaviour), so the
+    selected MCS trails sudden SINR changes exactly like a real
+    scheduler — one of the sources of throughput variability at CC
+    transitions the paper highlights.
+    """
+
+    def __init__(
+        self,
+        max_layers: int = 4,
+        report_noise: float = 0.5,
+        feedback_smoothing: float = 0.5,
+    ) -> None:
+        if not 0.0 <= feedback_smoothing < 1.0:
+            raise ValueError("feedback_smoothing must be in [0, 1)")
+        self.max_layers = max_layers
+        self.report_noise = report_noise
+        self.feedback_smoothing = feedback_smoothing
+        self._smoothed_sinr: Optional[float] = None
+
+    def reset(self) -> None:
+        self._smoothed_sinr = None
+
+    def step(self, sinr_db: float, rng: np.random.Generator, max_layers: Optional[int] = None) -> LinkState:
+        """Advance one reporting interval and return the link decisions."""
+        if self._smoothed_sinr is None:
+            self._smoothed_sinr = sinr_db
+        else:
+            alpha = 1.0 - self.feedback_smoothing
+            self._smoothed_sinr = alpha * sinr_db + self.feedback_smoothing * self._smoothed_sinr
+        reported = self._smoothed_sinr + rng.normal(0.0, self.report_noise)
+        cqi = cqi_from_sinr(reported)
+        mcs = mcs_from_cqi(cqi)
+        layers_cap = self.max_layers if max_layers is None else min(max_layers, self.max_layers)
+        rank = select_rank(reported, layers_cap)
+        bler = bler_from_sinr(sinr_db, mcs)
+        return LinkState(cqi=cqi, mcs=mcs, rank=rank, bler=bler)

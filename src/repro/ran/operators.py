@@ -1,0 +1,131 @@
+"""Operator profiles matching the paper's OpX / OpY / OpZ observations.
+
+Paper Table 2 and Appendix A.1:
+
+* **OpX** — AT&T-like: 4G up to 5 CCs; 5G FR1 2CC (n77+n77, 120 MHz) and
+  mmWave n260 up to 8 CCs; 5G CA prevalence ~24%, mmWave confined to
+  dense urban pockets.
+* **OpY** — Verizon-like: 4G up to 5 CCs; 5G FR1 2CC (n77+n77, 160 MHz,
+  and n5+n77) and mmWave n261 up to 8 CCs; prevalence ~44%.
+* **OpZ** — T-Mobile-like: aggressive FR1 re-farming; up to 4 CCs from
+  n41/n41/n25/n71 (aggregate up to 180 MHz); prevalence ~86%, broad
+  suburban/highway coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .cells import ChannelPlan
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Deployment policy for one (anonymized) operator."""
+
+    name: str
+    plans_4g: Tuple[ChannelPlan, ...]
+    plans_5g: Tuple[ChannelPlan, ...]
+    max_ca_4g: int
+    max_ca_5g_fr1: int
+    max_ca_5g_fr2: int
+    #: per-scenario fraction of sites carrying each 5G band
+    deploy_fraction: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def channel_plans(self) -> Tuple[ChannelPlan, ...]:
+        return self.plans_4g + self.plans_5g
+
+    def fraction_for(self, scenario: str) -> Dict[str, float]:
+        return self.deploy_fraction.get(scenario, {})
+
+
+OP_X = OperatorProfile(
+    name="OpX",
+    plans_4g=(
+        ChannelPlan("b12", 10),
+        ChannelPlan("b14", 10),
+        ChannelPlan("b2", 20, per_site=2),
+        ChannelPlan("b66", 20, per_site=2),
+        ChannelPlan("b30", 10),
+    ),
+    plans_5g=(
+        ChannelPlan("n5", 10),
+        ChannelPlan("n77", 100),
+        ChannelPlan("n77", 40),
+        ChannelPlan("n260", 100, per_site=8),
+    ),
+    max_ca_4g=5,
+    max_ca_5g_fr1=2,
+    max_ca_5g_fr2=8,
+    deploy_fraction={
+        # not every site carries every LTE carrier (the source of the
+        # paper's hundreds of distinct 4G CA combinations)
+        "urban": {"n77": 0.45, "n260": 0.08, "n5": 0.8, "b12": 0.8, "b14": 0.6, "b30": 0.7, "b66": 0.9},
+        "suburban": {"n77": 0.2, "n260": 0.0, "n5": 0.9, "b12": 0.9, "b14": 0.7, "b30": 0.5, "b66": 0.85},
+        "highway": {"n77": 0.12, "n260": 0.0, "n5": 0.9, "b12": 0.9, "b14": 0.7, "b30": 0.4, "b66": 0.8},
+        "indoor": {"n77": 0.4, "n260": 0.05, "n5": 0.9, "b12": 0.8, "b14": 0.6, "b30": 0.7, "b66": 0.9},
+    },
+)
+
+OP_Y = OperatorProfile(
+    name="OpY",
+    plans_4g=(
+        ChannelPlan("b13", 10),
+        ChannelPlan("b5", 10),
+        ChannelPlan("b4", 20, per_site=2),
+        ChannelPlan("b2", 20),
+        ChannelPlan("b66", 20, per_site=2),
+    ),
+    plans_5g=(
+        ChannelPlan("n5", 10),
+        ChannelPlan("n77", 100),
+        ChannelPlan("n77", 60),
+        ChannelPlan("n261", 100, per_site=8),
+    ),
+    max_ca_4g=5,
+    max_ca_5g_fr1=2,
+    max_ca_5g_fr2=8,
+    deploy_fraction={
+        "urban": {"n77": 0.6, "n261": 0.25, "n5": 0.85, "b5": 0.7, "b4": 0.85, "b66": 0.9},
+        "suburban": {"n77": 0.35, "n261": 0.0, "n5": 0.9, "b5": 0.8, "b4": 0.8, "b66": 0.85},
+        "highway": {"n77": 0.25, "n261": 0.0, "n5": 0.9, "b5": 0.8, "b4": 0.7, "b66": 0.8},
+        "indoor": {"n77": 0.55, "n261": 0.1, "n5": 0.9, "b5": 0.7, "b4": 0.85, "b66": 0.9},
+    },
+)
+
+OP_Z = OperatorProfile(
+    name="OpZ",
+    plans_4g=(
+        ChannelPlan("b71", 5),
+        ChannelPlan("b2", 20, per_site=2),
+        ChannelPlan("b4", 20),
+        ChannelPlan("b66", 20),
+        ChannelPlan("b41", 20, per_site=2),
+    ),
+    plans_5g=(
+        ChannelPlan("n71", 20),
+        ChannelPlan("n25", 20),
+        ChannelPlan("n41", 100),
+        ChannelPlan("n41", 40),
+    ),
+    max_ca_4g=5,
+    max_ca_5g_fr1=4,
+    max_ca_5g_fr2=0,
+    deploy_fraction={
+        "urban": {"n41": 0.95, "n25": 0.9, "n71": 0.95, "b2": 0.85, "b4": 0.8, "b66": 0.85, "b41": 0.75},
+        "suburban": {"n41": 0.75, "n25": 0.7, "n71": 0.95, "b2": 0.9, "b4": 0.8, "b66": 0.8, "b41": 0.6},
+        "highway": {"n41": 0.55, "n25": 0.5, "n71": 0.95, "b2": 0.9, "b4": 0.7, "b66": 0.75, "b41": 0.5},
+        "indoor": {"n41": 0.9, "n25": 0.85, "n71": 0.95, "b2": 0.85, "b4": 0.8, "b66": 0.85, "b41": 0.75},
+    },
+)
+
+OPERATORS: Dict[str, OperatorProfile] = {op.name: op for op in (OP_X, OP_Y, OP_Z)}
+
+
+def get_operator(name: str) -> OperatorProfile:
+    """Look up an operator profile by anonymized name (OpX/OpY/OpZ)."""
+    try:
+        return OPERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown operator {name!r}; choose from {sorted(OPERATORS)}") from None

@@ -1,0 +1,50 @@
+"""User-equipment (modem) capability model.
+
+Paper Table 5 + Fig 29: CA depends not only on the network but on the
+handset.  The Samsung S10 (Snapdragon X50) does not support SA 5G CA at
+all; the S21 (X60) supports 2CC; the S22 (X65) up to 3CC; the S23 (X70)
+up to 4CC FR1.  mmWave 8CC requires X55 or later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class UECapability:
+    """What a modem supports for carrier aggregation."""
+
+    modem: str
+    phone_model: str
+    max_ca_5g_fr1: int  #: max FR1 component carriers in SA mode
+    max_ca_5g_fr2: int  #: max mmWave component carriers
+    max_ca_4g: int
+    max_mimo_layers: int = 4
+
+    def cap_ccs(self, frequency_range: str, rat: str = "5G") -> int:
+        """Maximum usable CC count for a RAT/frequency range."""
+        if rat == "4G":
+            return self.max_ca_4g
+        return self.max_ca_5g_fr2 if frequency_range == "FR2" else self.max_ca_5g_fr1
+
+
+UE_REGISTRY: Dict[str, UECapability] = {
+    ue.modem: ue
+    for ue in [
+        UECapability("X50", "Galaxy S10", max_ca_5g_fr1=1, max_ca_5g_fr2=4, max_ca_4g=5),
+        UECapability("X55", "Galaxy S20 Ultra", max_ca_5g_fr1=2, max_ca_5g_fr2=8, max_ca_4g=5),
+        UECapability("X60", "Galaxy S21 Ultra", max_ca_5g_fr1=2, max_ca_5g_fr2=8, max_ca_4g=5),
+        UECapability("X65", "Galaxy S22", max_ca_5g_fr1=3, max_ca_5g_fr2=8, max_ca_4g=5),
+        UECapability("X70", "Galaxy S23", max_ca_5g_fr1=4, max_ca_5g_fr2=8, max_ca_4g=5),
+    ]
+}
+
+
+def get_ue(modem: str) -> UECapability:
+    """Look up a modem capability profile (X50..X70)."""
+    try:
+        return UE_REGISTRY[modem]
+    except KeyError:
+        raise KeyError(f"unknown modem {modem!r}; choose from {sorted(UE_REGISTRY)}") from None

@@ -1,0 +1,7 @@
+"""Tree-based regressors (CART, random forest, gradient boosting)."""
+
+from .boosting import GradientBoostingRegressor
+from .forest import RandomForestRegressor
+from .tree import DecisionTreeRegressor
+
+__all__ = ["DecisionTreeRegressor", "GradientBoostingRegressor", "RandomForestRegressor"]

@@ -1,0 +1,68 @@
+"""Random forest regressor (bagged CART trees with feature subsampling)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees.
+
+    ``max_features`` defaults to ``ceil(sqrt(d))`` as is conventional for
+    regression forests used in signal-map prediction [4].
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 10,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: List[DecisionTreeRegressor] = []
+
+    def _resolve_max_features(self, d: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.ceil(np.sqrt(d))))
+        if isinstance(self.max_features, int):
+            return min(self.max_features, d)
+        raise ValueError(f"unsupported max_features: {self.max_features!r}")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        max_features = self._resolve_max_features(d)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=np.random.default_rng(rng.integers(0, 2**31)),
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest has not been fitted")
+        preds = np.stack([tree.predict(x) for tree in self.trees_])
+        return preds.mean(axis=0)

@@ -1,0 +1,87 @@
+"""CLI tests (invoking main() in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.operator == "OpZ"
+        assert args.rat == "5G"
+
+    def test_rejects_bad_operator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--operator", "OpQ"])
+
+
+class TestSimulate:
+    def test_simulate_prints_summary(self, capsys):
+        rc = main(["simulate", "--duration", "10", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OpZ 5G" in out
+        assert "Mbps" in out
+
+    def test_simulate_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        rc = main(["simulate", "--duration", "10", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        from repro.ran import Trace
+
+        trace = Trace.from_jsonl(out)
+        assert len(trace) == 10
+
+    def test_simulate_nsa(self, capsys):
+        rc = main(["simulate", "--nsa", "--operator", "OpX", "--duration", "10"])
+        assert rc == 0
+        assert "NSA" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_campaign_table(self, capsys):
+        rc = main(
+            [
+                "campaign", "--operators", "OpZ", "--scenarios", "urban",
+                "--rats", "5G", "--runs", "1", "--duration", "20",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OpZ" in out
+        assert "CA%" in out
+
+
+class TestTrainEvaluate:
+    def test_train_and_save(self, tmp_path, capsys):
+        model_path = tmp_path / "prism.npz"
+        rc = main(
+            [
+                "train", "--traces", "2", "--samples", "60", "--epochs", "2",
+                "--hidden", "8", "--model-out", str(model_path),
+            ]
+        )
+        assert rc == 0
+        assert model_path.exists()
+        assert "RMSE" in capsys.readouterr().out
+
+    def test_evaluate_table(self, capsys):
+        rc = main(
+            [
+                "evaluate", "--traces", "2", "--samples", "60", "--epochs", "2",
+                "--hidden", "8", "--predictors", "Prophet", "Prism5G",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Prophet" in out and "Prism5G" in out
+
+    def test_evaluate_unknown_predictor(self, capsys):
+        rc = main(["evaluate", "--predictors", "Oracle9000"])
+        assert rc == 2

@@ -1,0 +1,111 @@
+"""Forecast metrics and theoretical-capacity tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.forecast import bias, forecast_report, horizon_rmse, mase, smape
+from repro.ran import (
+    ChannelSpec,
+    aggregate_capacity_mbps,
+    channel_capacity_mbps,
+    simulate_stationary_ideal,
+    utilization,
+)
+
+
+class TestForecastMetrics:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        target = rng.uniform(100, 500, size=(50, 10))
+        pred = target + rng.normal(0, 20, size=(50, 10))
+        history = rng.uniform(100, 500, size=(50, 10))
+        return pred, target, history
+
+    def test_horizon_rmse_shape(self):
+        pred, target, _ = self._data()
+        curve = horizon_rmse(pred, target)
+        assert curve.shape == (10,)
+        assert np.all(curve > 0)
+
+    def test_horizon_rmse_requires_2d(self):
+        with pytest.raises(ValueError):
+            horizon_rmse(np.zeros(5), np.zeros(5))
+
+    def test_smape_bounds(self):
+        pred, target, _ = self._data()
+        value = smape(pred, target)
+        assert 0.0 <= value <= 200.0
+
+    def test_smape_zero_when_equal(self):
+        target = np.ones((3, 4)) * 100
+        assert smape(target, target) == pytest.approx(0.0)
+
+    def test_mase_below_one_beats_persistence(self):
+        _, target, history = self._data()
+        assert mase(target, target, history) == 0.0
+        naive = np.repeat(history[:, -1:], target.shape[1], axis=1)
+        assert mase(naive, target, history) == pytest.approx(1.0)
+
+    def test_mase_alignment_check(self):
+        pred, target, history = self._data()
+        with pytest.raises(ValueError):
+            mase(pred, target, history[:10])
+
+    def test_bias_sign(self):
+        target = np.full((4, 3), 100.0)
+        assert bias(target + 5.0, target) == pytest.approx(5.0)
+        assert bias(target - 5.0, target) == pytest.approx(-5.0)
+
+    def test_report_keys(self):
+        pred, target, history = self._data()
+        report = forecast_report(pred, target, history)
+        assert set(report) == {"rmse", "smape_pct", "mase", "bias"}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_smape_symmetric(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(1, 100, size=(5, 3))
+        b = rng.uniform(1, 100, size=(5, 3))
+        assert smape(a, b) == pytest.approx(smape(b, a))
+
+
+class TestCapacity:
+    def test_n41_100mhz_capacity_plausible(self):
+        """100 MHz TDD mid-band, 4 layers: ~1.3-1.8 Gbps sustained."""
+        capacity = channel_capacity_mbps(ChannelSpec("n41", 100))
+        assert 1_200 < capacity < 1_900
+
+    def test_fdd_beats_tdd_at_same_bandwidth(self):
+        fdd = channel_capacity_mbps(ChannelSpec("n25", 20))
+        tdd = channel_capacity_mbps(ChannelSpec("n41", 20))
+        assert fdd > tdd
+
+    def test_lte_layer_cap(self):
+        """4G capacity uses at most 2 layers even if more are requested."""
+        two = channel_capacity_mbps(ChannelSpec("b2", 20, n_layers=2))
+        four = channel_capacity_mbps(ChannelSpec("b2", 20, n_layers=4))
+        assert two == four
+
+    def test_aggregate_is_sum(self):
+        specs = [ChannelSpec("n41", 100), ChannelSpec("n25", 20)]
+        total = aggregate_capacity_mbps(specs)
+        assert total == pytest.approx(sum(channel_capacity_mbps(s) for s in specs))
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_capacity_mbps([])
+
+    def test_measured_below_theoretical(self):
+        """Fig 6's premise: real aggregates sit below the theoretical sum."""
+        trace = simulate_stationary_ideal(
+            "OpZ", duration_s=10.0, seed=3, band_lock=["n41@2500", "n25"], max_ccs_override=2
+        )
+        specs = [ChannelSpec("n41", 100), ChannelSpec("n25", 20)]
+        ratio = utilization(trace.throughput_series().mean(), specs)
+        assert 0.0 < ratio < 1.0
+
+    def test_utilization_validation(self):
+        with pytest.raises(ValueError):
+            utilization(-1.0, [ChannelSpec("n41", 100)])

@@ -1,0 +1,103 @@
+"""Softmax op and transformer-encoder tests (the swappable Prism5G block)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Prism5G, pack_inputs
+from repro.nn import CausalSelfAttention, Tensor, TransformerEncoder, numerical_gradient
+
+RNG = np.random.default_rng(11)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = Tensor(RNG.normal(size=(4, 6))).softmax(axis=-1)
+        np.testing.assert_allclose(out.numpy().sum(axis=-1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        out = Tensor(np.array([[1e4, 0.0], [-1e4, 0.0]])).softmax()
+        assert np.all(np.isfinite(out.numpy()))
+
+    def test_gradcheck(self):
+        x = RNG.normal(size=(3, 4))
+        w = RNG.normal(size=(4,))
+
+        def fn(t):
+            return (t.softmax(axis=-1) * Tensor(w)).sum()
+
+        t = Tensor(x.copy(), requires_grad=True)
+        fn(t).backward()
+        numeric = numerical_gradient(lambda arr: fn(Tensor(arr)).item(), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, atol=1e-5)
+
+
+class TestCausalSelfAttention:
+    def test_output_shape(self):
+        attention = CausalSelfAttention(8, rng=np.random.default_rng(0))
+        out = attention(Tensor(RNG.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_causality(self):
+        """Perturbing the future must not change past outputs."""
+        attention = CausalSelfAttention(6, rng=np.random.default_rng(0))
+        x = RNG.normal(size=(1, 7, 6))
+        base = attention(Tensor(x)).numpy()
+        x_mod = x.copy()
+        x_mod[0, 5, :] += 10.0
+        modified = attention(Tensor(x_mod)).numpy()
+        np.testing.assert_allclose(base[0, :5], modified[0, :5], atol=1e-9)
+        assert not np.allclose(base[0, 5:], modified[0, 5:])
+
+    def test_gradients_flow(self):
+        attention = CausalSelfAttention(4, rng=np.random.default_rng(1))
+        x = Tensor(RNG.normal(size=(2, 3, 4)), requires_grad=True)
+        attention(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestTransformerEncoder:
+    def test_sequence_interface_matches_rnn(self):
+        encoder = TransformerEncoder(5, 8, num_layers=2, rng=np.random.default_rng(0))
+        out, state = encoder(Tensor(RNG.normal(size=(3, 6, 5))))
+        assert out.shape == (3, 6, 8)
+        assert state is None
+
+    def test_position_information_present(self):
+        """The same token at different positions yields different outputs."""
+        encoder = TransformerEncoder(2, 8, rng=np.random.default_rng(0))
+        x = np.zeros((1, 4, 2))
+        out = encoder(Tensor(x))[0].numpy()
+        assert not np.allclose(out[0, 0], out[0, 3])
+
+
+class TestPrismTransformerVariant:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 5, 3, 6))
+        mask = np.ones((4, 5, 3))
+        y_hist = rng.random((4, 5))
+        model = Prism5G(n_ccs=3, n_features=6, horizon=4, hidden=8, rnn="transformer")
+        out = model(Tensor(pack_inputs(x, mask, y_hist)))
+        assert out.shape == (4, 4 * (1 + 3))
+
+    def test_trains_a_step(self):
+        from repro.nn import Adam
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(8, 5, 2, 6))
+        mask = np.ones((8, 5, 2))
+        y_hist = rng.random((8, 5))
+        target = rng.random((8, 3))
+        model = Prism5G(n_ccs=2, n_features=6, horizon=3, hidden=8, rnn="transformer")
+        opt = Adam(model.parameters(), lr=0.01)
+        packed = pack_inputs(x, mask, y_hist)
+        losses = []
+        for _ in range(15):
+            pred = model(Tensor(packed))
+            loss = ((pred[:, :3] - Tensor(target)) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]

@@ -1,0 +1,218 @@
+"""Autograd engine tests: exact gradients vs central differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, concat, numerical_gradient, stack, where
+
+
+def _gradcheck(fn, x, atol=1e-5):
+    """Compare analytic and numerical gradients of scalar fn(x)."""
+    t = Tensor(x.copy(), requires_grad=True)
+    fn(t).backward()
+    numeric = numerical_gradient(lambda arr: fn(Tensor(arr)).item(), x.copy())
+    assert t.grad is not None
+    np.testing.assert_allclose(t.grad, numeric, atol=atol)
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestElementwise:
+    def test_add_backward(self):
+        _gradcheck(lambda t: (t + 3.0).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sub_backward(self):
+        _gradcheck(lambda t: (5.0 - t).sum(), RNG.normal(size=(3, 4)))
+
+    def test_mul_backward(self):
+        _gradcheck(lambda t: (t * t).sum(), RNG.normal(size=(4,)))
+
+    def test_div_backward(self):
+        _gradcheck(lambda t: (1.0 / (t + 10.0)).sum(), RNG.uniform(1, 2, size=(3, 3)))
+
+    def test_pow_backward(self):
+        _gradcheck(lambda t: (t ** 3).sum(), RNG.uniform(0.5, 2, size=(5,)))
+
+    def test_neg(self):
+        _gradcheck(lambda t: (-t).sum(), RNG.normal(size=(2, 2)))
+
+    def test_chain_of_ops(self):
+        _gradcheck(
+            lambda t: ((t * 2 + 1) * (t - 0.5)).mean(),
+            RNG.normal(size=(3, 5)),
+        )
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+
+class TestBroadcasting:
+    def test_broadcast_add_bias(self):
+        bias = RNG.normal(size=(4,))
+        x = RNG.normal(size=(3, 4))
+        t = Tensor(x, requires_grad=True)
+        b = Tensor(bias, requires_grad=True)
+        (t + b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0))
+        np.testing.assert_allclose(t.grad, np.ones((3, 4)))
+
+    def test_broadcast_mul_column(self):
+        col = Tensor(RNG.normal(size=(3, 1)), requires_grad=True)
+        x = Tensor(RNG.normal(size=(3, 4)))
+        (col * x).sum().backward()
+        np.testing.assert_allclose(col.grad, x.data.sum(axis=1, keepdims=True))
+
+    def test_scalar_broadcast(self):
+        t = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        (t * 2.5).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3), 2.5))
+
+
+class TestMatmul:
+    def test_matmul_2d(self):
+        w = RNG.normal(size=(4, 5))
+        _gradcheck(lambda t: (t @ Tensor(w)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_matmul_grad_wrt_weight(self):
+        x = RNG.normal(size=(3, 4))
+        w = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        (Tensor(x) @ w).sum().backward()
+        expected = numerical_gradient(lambda arr: float((x @ arr).sum()), w.data.copy())
+        np.testing.assert_allclose(w.grad, expected, atol=1e-5)
+
+    def test_matmul_batched(self):
+        w = RNG.normal(size=(4, 2))
+        _gradcheck(lambda t: (t @ Tensor(w)).sum(), RNG.normal(size=(2, 3, 4)))
+
+    def test_matvec(self):
+        v = RNG.normal(size=(4,))
+        _gradcheck(lambda t: (t @ Tensor(v)).sum(), RNG.normal(size=(3, 4)))
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["tanh", "sigmoid", "relu", "exp", "abs"])
+    def test_unary_backward(self, op):
+        x = RNG.normal(size=(3, 4)) + 0.1  # keep relu/abs off the kink
+        _gradcheck(lambda t: getattr(t, op)().sum(), x)
+
+    def test_log_backward(self):
+        _gradcheck(lambda t: t.log().sum(), RNG.uniform(0.5, 3, size=(3, 3)))
+
+    def test_sqrt_backward(self):
+        _gradcheck(lambda t: t.sqrt().sum(), RNG.uniform(0.5, 3, size=(4,)))
+
+    def test_sigmoid_saturates_safely(self):
+        out = Tensor(np.array([1e4, -1e4])).sigmoid()
+        assert np.all(np.isfinite(out.data))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self):
+        _gradcheck(lambda t: t.sum(axis=0).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        _gradcheck(lambda t: (t * t.sum(axis=1, keepdims=True)).sum(), RNG.normal(size=(3, 4)))
+
+    def test_mean(self):
+        _gradcheck(lambda t: t.mean(), RNG.normal(size=(5, 2)))
+
+    def test_mean_axis_tuple(self):
+        _gradcheck(lambda t: t.mean(axis=(0, 1)).sum(), RNG.normal(size=(2, 3, 4)))
+
+    def test_reshape(self):
+        _gradcheck(lambda t: t.reshape(6).sum(), RNG.normal(size=(2, 3)))
+
+    def test_transpose(self):
+        _gradcheck(lambda t: (t.transpose() * 2).sum(), RNG.normal(size=(2, 3)))
+
+    def test_getitem_slice(self):
+        _gradcheck(lambda t: t[:, 1:3].sum(), RNG.normal(size=(3, 5)))
+
+    def test_getitem_gradient_is_sparse(self):
+        t = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        t[1, 1].sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+
+class TestCombinators:
+    def test_concat_backward(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        concat([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_backward(self):
+        a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        (stack([a, b], axis=0) * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full(3, 2.0))
+
+    def test_where_routes_gradients(self):
+        cond = np.array([True, False, True])
+        a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        (t * t + t).sum().backward()  # d/dt (t^2 + t) = 2t + 1 = 5
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_detach_cuts_graph(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        (t.detach() * 2 + t).sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+    def test_backward_shape_mismatch_raises(self):
+        t = Tensor(np.zeros((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward(np.zeros(3))
+
+    def test_zero_grad(self):
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        (t * 2).backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_deep_graph_no_recursion_error(self):
+        t = Tensor(np.array([0.001]), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 0.0
+        out.backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_gradcheck_random_composite(rows, cols, seed):
+    """Property: analytic gradient matches numeric for random programs."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, cols))
+    w = rng.normal(size=(cols, 3))
+
+    def fn(t):
+        return ((t @ Tensor(w)).tanh() * 0.5 + (t.sigmoid())[:, :1]).sum()
+
+    _gradcheck(fn, x, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=20))
+def test_sum_matches_numpy(values):
+    arr = np.array(values)
+    assert Tensor(arr).sum().item() == pytest.approx(arr.sum(), rel=1e-12, abs=1e-9)

@@ -1,0 +1,64 @@
+"""Campaign orchestration and CA deployment statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.ran import (
+    CampaignConfig,
+    TraceSimulator,
+    analyze_traces,
+    cc_spatial_map,
+    run_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    config = CampaignConfig(
+        operators=("OpZ", "OpX"),
+        scenarios=("urban", "suburban"),
+        rats=("5G",),
+        traces_per_cell=1,
+        duration_s=40.0,
+        seed=0,
+    )
+    return run_campaign(config)
+
+
+class TestAnalyzeTraces:
+    def test_statistics_fields(self):
+        traces = [TraceSimulator("OpZ", mobility="driving", dt_s=1.0, seed=s).run(40.0) for s in (1, 2)]
+        stats = analyze_traces(traces, operator="OpZ", rat="5G")
+        assert stats.unique_channels >= 2
+        assert stats.max_ccs >= 2
+        assert 0.0 <= stats.ca_prevalence <= 1.0
+        assert stats.peak_tput_mbps >= stats.mean_tput_mbps
+
+    def test_combo_counts_ordered_ge_unique(self):
+        traces = [TraceSimulator("OpZ", mobility="driving", dt_s=1.0, seed=s).run(60.0) for s in range(3)]
+        stats = analyze_traces(traces)
+        assert stats.ordered_combos >= stats.unique_combos
+
+    def test_empty_traces(self):
+        stats = analyze_traces([])
+        assert stats.ca_prevalence == 0.0
+        assert stats.unique_channels == 0
+
+
+class TestCampaign:
+    def test_all_cells_present(self, small_campaign):
+        assert len(small_campaign.stats) == 2 * 2  # 2 operators x 2 scenarios
+        assert len(small_campaign.traces) == 4
+
+    def test_opz_more_ca_than_opx(self, small_campaign):
+        """Fig 25: OpZ deploys 5G CA far more broadly than OpX."""
+        table = small_campaign.prevalence_table()
+        opz = np.mean(list(table["OpZ"].values()))
+        opx = np.mean(list(table["OpX"].values()))
+        assert opz > opx
+
+    def test_spatial_map(self):
+        trace = TraceSimulator("OpZ", mobility="driving", dt_s=1.0, seed=5).run(60.0)
+        grid = cc_spatial_map(trace, grid_m=100.0)
+        assert grid
+        assert all(0 <= v <= 4 for v in grid.values())

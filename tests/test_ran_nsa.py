@@ -1,0 +1,85 @@
+"""NSA (EN-DC) dual-connectivity tests."""
+
+import numpy as np
+import pytest
+
+from repro.ran import DualConnectivitySimulator, NSAConfig
+
+
+@pytest.fixture(scope="module")
+def nsa_trace():
+    sim = DualConnectivitySimulator("OpX", scenario="urban", mobility="driving", dt_s=1.0, seed=3)
+    return sim, sim.run(60.0)
+
+
+class TestDualConnectivity:
+    def test_trace_marked_nsa(self, nsa_trace):
+        _, trace = nsa_trace
+        assert trace.rat == "NSA"
+
+    def test_anchor_plus_nr_leg(self, nsa_trace):
+        """When the NR leg is attached, the record mixes b- and n-cells."""
+        _, trace = nsa_trace
+        mixed = [
+            rec
+            for rec in trace.records
+            if any(cc.band_name.startswith("b") for cc in rec.ccs)
+            and any(cc.band_name.startswith("n") for cc in rec.ccs)
+        ]
+        assert mixed, "NR leg never attached on an urban drive"
+
+    def test_single_pcell_is_lte(self, nsa_trace):
+        """NSA: the (only) PCell lives on the LTE anchor."""
+        _, trace = nsa_trace
+        for rec in trace.records:
+            pcells = [cc for cc in rec.ccs if cc.is_pcell]
+            assert len(pcells) <= 1
+            for pcell in pcells:
+                assert pcell.band_name.startswith("b")
+
+    def test_nr_leg_events_logged(self, nsa_trace):
+        _, trace = nsa_trace
+        events = [e for rec in trace.records for e in rec.events]
+        assert any(e.startswith("nr_leg_add") for e in events)
+
+    def test_merged_throughput_includes_both_legs(self, nsa_trace):
+        _, trace = nsa_trace
+        for rec in trace.records:
+            cc_sum = sum(cc.tput_mbps for cc in rec.ccs if cc.active)
+            # merged total = (lte + nr) * split efficiency <= plain sum
+            assert rec.total_tput_mbps <= cc_sum + 1e-6
+
+    def test_nr_attachment_ratio(self, nsa_trace):
+        sim, trace = nsa_trace
+        ratio = sim.nr_attachment_ratio(trace)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_nsa_beats_lte_only(self):
+        """The NR leg should lift throughput over the pure-LTE anchor."""
+        from repro.ran import TraceSimulator
+
+        nsa = DualConnectivitySimulator("OpX", mobility="driving", dt_s=1.0, seed=9).run(60.0)
+        lte = TraceSimulator("OpX", mobility="driving", rat="4G", dt_s=1.0, seed=9).run(60.0)
+        assert nsa.throughput_series().mean() > lte.throughput_series().mean()
+
+    def test_indoor_nsa_drops_nr_more(self):
+        """Fig 27: OpX-style mid-band NR falls away indoors."""
+        outdoor_sim = DualConnectivitySimulator("OpX", scenario="urban", mobility="driving", dt_s=1.0, seed=5)
+        outdoor = outdoor_sim.run(50.0)
+        indoor_sim = DualConnectivitySimulator("OpX", scenario="indoor", mobility="indoor", dt_s=1.0, seed=5)
+        indoor = indoor_sim.run(50.0)
+        assert indoor_sim.nr_attachment_ratio(indoor) <= outdoor_sim.nr_attachment_ratio(outdoor)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NSAConfig(pdcp_split_efficiency=0.0)
+
+    def test_invalid_duration(self):
+        sim = DualConnectivitySimulator("OpX", dt_s=1.0, seed=1)
+        with pytest.raises(ValueError):
+            sim.run(0.0)
+
+    def test_deterministic(self):
+        a = DualConnectivitySimulator("OpY", mobility="driving", dt_s=1.0, seed=21).run(30.0)
+        b = DualConnectivitySimulator("OpY", mobility="driving", dt_s=1.0, seed=21).run(30.0)
+        np.testing.assert_allclose(a.throughput_series(), b.throughput_series())

@@ -1,0 +1,165 @@
+"""End-to-end simulator invariants and paper-phenomenon checks."""
+
+import numpy as np
+import pytest
+
+from repro.ran import TraceSimulator, simulate_stationary_ideal
+
+
+@pytest.fixture(scope="module")
+def drive_trace():
+    sim = TraceSimulator("OpZ", scenario="urban", mobility="driving", dt_s=1.0, seed=11)
+    return sim.run(90.0)
+
+
+@pytest.fixture(scope="module")
+def ideal_trace():
+    return simulate_stationary_ideal("OpZ", duration_s=30.0, seed=3)
+
+
+class TestInvariants:
+    def test_aggregate_is_sum_of_cc_throughputs(self, drive_trace):
+        for rec in drive_trace.records:
+            total = sum(cc.tput_mbps for cc in rec.ccs if cc.active)
+            assert rec.total_tput_mbps == pytest.approx(total, rel=1e-9)
+
+    def test_exactly_one_pcell_when_connected(self, drive_trace):
+        for rec in drive_trace.records:
+            if rec.n_active_ccs:
+                assert sum(1 for cc in rec.ccs if cc.active and cc.is_pcell) == 1
+
+    def test_cc_count_within_policy(self, drive_trace):
+        assert drive_trace.cc_count_series().max() <= 4
+
+    def test_feature_ranges_sane(self, drive_trace):
+        for rec in drive_trace.records:
+            for cc in rec.ccs:
+                if not cc.active:
+                    continue
+                assert -150 < cc.rsrp_dbm < -20
+                assert 0 <= cc.cqi <= 15
+                assert 0 <= cc.mcs <= 27
+                assert 1 <= cc.n_layers <= 4
+                assert 0 <= cc.bler < 1
+                assert cc.n_rb >= 1
+                assert cc.tput_mbps >= 0
+
+    def test_deterministic_given_seed(self):
+        a = TraceSimulator("OpZ", mobility="driving", dt_s=1.0, seed=42).run(20.0)
+        b = TraceSimulator("OpZ", mobility="driving", dt_s=1.0, seed=42).run(20.0)
+        np.testing.assert_allclose(a.throughput_series(), b.throughput_series())
+
+    def test_different_seeds_differ(self):
+        a = TraceSimulator("OpZ", mobility="driving", dt_s=1.0, seed=1).run(20.0)
+        b = TraceSimulator("OpZ", mobility="driving", dt_s=1.0, seed=2).run(20.0)
+        assert not np.allclose(a.throughput_series(), b.throughput_series())
+
+    def test_invalid_duration(self):
+        sim = TraceSimulator("OpZ", dt_s=1.0, seed=0)
+        with pytest.raises(ValueError):
+            sim.run(0.0)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            TraceSimulator("OpZ", dt_s=0.0)
+
+
+class TestPaperPhenomena:
+    def test_ideal_opz_reaches_gbps(self, ideal_trace):
+        """Fig 1: OpZ 4CC FR1 ideal ~ 1.5 Gbps average."""
+        mean = ideal_trace.throughput_series().mean()
+        assert mean > 900.0
+        assert ideal_trace.cc_count_series().max() == 4
+
+    def test_more_ccs_more_throughput_on_average(self):
+        """Fig 1's staircase, averaged over seeds to kill shadowing noise."""
+        means = []
+        for k in (1, 4):
+            runs = [
+                simulate_stationary_ideal("OpZ", duration_s=12.0, seed=s, max_ccs_override=k)
+                .throughput_series()
+                .mean()
+                for s in range(4)
+            ]
+            means.append(np.mean(runs))
+        assert means[1] > 1.3 * means[0]
+
+    def test_ca_subadditive_per_cc(self):
+        """Figs 6/14: a channel delivers less as an SCell than alone."""
+        alone, in_ca = [], []
+        for seed in range(4, 8):
+            alone_trace = simulate_stationary_ideal(
+                "OpZ", duration_s=10.0, seed=seed, ca_enabled=False, band_lock=["n25"]
+            )
+            ca_trace = simulate_stationary_ideal(
+                "OpZ", duration_s=10.0, seed=seed, band_lock=["n41@2500", "n25"], max_ccs_override=2
+            )
+            alone.append(alone_trace.throughput_series().mean())
+            for rec in ca_trace.records:
+                for cc in rec.ccs:
+                    if cc.active and cc.band_name == "n25":
+                        in_ca.append(cc.tput_mbps)
+        assert np.mean(in_ca) < 0.8 * np.mean(alone)
+
+    def test_ca_subadditive_aggregate(self):
+        """Fig 6: aggregate < sum of stand-alone means (multi-seed)."""
+        total_alone, together = [], []
+        for seed in range(4, 10):
+            a41 = simulate_stationary_ideal(
+                "OpZ", duration_s=10.0, seed=seed, ca_enabled=False, band_lock=["n41@2500"]
+            )
+            a25 = simulate_stationary_ideal(
+                "OpZ", duration_s=10.0, seed=seed, ca_enabled=False, band_lock=["n25"]
+            )
+            both = simulate_stationary_ideal(
+                "OpZ", duration_s=10.0, seed=seed, band_lock=["n41@2500", "n25"], max_ccs_override=2
+            )
+            total_alone.append(a41.throughput_series().mean() + a25.throughput_series().mean())
+            together.append(both.throughput_series().mean())
+        assert np.mean(together) < np.mean(total_alone)
+
+    def test_mmwave_8cc_highest_peak(self):
+        """Fig 23: 8CC mmWave beats FR1 peaks by a wide margin."""
+        mmwave = simulate_stationary_ideal(
+            "OpY", duration_s=12.0, seed=2, band_lock=["n261"], distance_m=40
+        )
+        assert mmwave.cc_count_series().max() == 8
+        assert mmwave.throughput_series().max() > 2_000.0
+
+    def test_events_logged_on_driving(self, drive_trace):
+        events = [e for rec in drive_trace.records for e in rec.events]
+        assert any(e.startswith("pcell_change") for e in events)
+
+    def test_indoor_prefers_low_band_pcell(self):
+        """Fig 28: indoors, the FDD low-band (n71) becomes the PCell."""
+        sim = TraceSimulator(
+            "OpZ", scenario="indoor", mobility="indoor", dt_s=1.0, seed=9
+        )
+        trace = sim.run(40.0)
+        pcell_bands = [rec.pcell.band_name for rec in trace.records if rec.pcell]
+        assert pcell_bands, "UE never connected indoors"
+        low_share = np.mean([b == "n71" for b in pcell_bands])
+        assert low_share > 0.6
+
+    def test_band_lock_restricts_channels(self):
+        trace = simulate_stationary_ideal("OpZ", duration_s=10.0, seed=5, band_lock=["n25"])
+        for rec in trace.records:
+            for cc in rec.ccs:
+                if cc.active:
+                    assert cc.band_name == "n25"
+
+    def test_ue_capability_fig29(self):
+        """Fig 29: S10 no SA CA; S21 2CC; S23 (X70) up to 4CC."""
+        maxes = {}
+        for modem in ("X50", "X60", "X70"):
+            trace = simulate_stationary_ideal("OpZ", duration_s=15.0, seed=4, modem=modem)
+            maxes[modem] = trace.cc_count_series().max()
+        assert maxes["X50"] == 1
+        assert maxes["X60"] <= 2
+        assert maxes["X70"] >= maxes["X60"]
+
+    def test_10ms_granularity_runs(self):
+        sim = TraceSimulator("OpZ", mobility="walking", dt_s=0.01, seed=6)
+        trace = sim.run(3.0)
+        assert len(trace) == 300
+        assert trace.dt_s == 0.01
