@@ -1,0 +1,247 @@
+"""PERF — wall-clock benchmark for the fused-kernel / no-grad / cache PR.
+
+Times a Table-4-style workload (synthesize one sub-dataset, train +
+predict an LSTM and a Prism5G model) along two code paths:
+
+* **legacy** — the pre-PR path: serial uncached trace synthesis,
+  op-by-op RNN composition (fused kernels off), and graph-building
+  grad-mode prediction;
+* **current** — the shipped path: warm on-disk trace cache, fused
+  sequence kernels, and ``no_grad`` prediction.
+
+Results (per-phase seconds, end-to-end totals, speedup) go to
+``BENCH_perf.json`` at the repo root.  The first run records itself as
+the regression baseline; later runs update ``latest`` only.
+
+Run as a script (``scripts/perf_smoke.sh`` does this)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_training.py [--check]
+
+``--check`` exits non-zero when the current end-to-end time regresses
+by more than 2x against the recorded baseline.  Under pytest the same
+workload runs as a ``slow``-marked benchmark test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_perf.json"
+RESULT_SCHEMA = "bench-perf-v1"
+REGRESSION_FACTOR = 2.0
+
+
+def _workload_params() -> Dict:
+    full = os.environ.get("REPRO_SCALE") == "full"
+    return {
+        "scale": "full" if full else "fast",
+        "operator": "OpX",
+        "mobility": "walking",
+        "timescale": "long",
+        "n_traces": 10 if full else 4,
+        "samples_per_trace": 400 if full else 200,
+        "hidden": 32 if full else 24,
+        "lstm_epochs": 12 if full else 6,
+        "prism_epochs": 8 if full else 4,
+    }
+
+
+def _grad_mode_predict(predictor, dataset) -> np.ndarray:
+    """Emulate the pre-PR prediction loop: full graph construction."""
+    trainer = predictor.trainer
+    x = predictor._packed(dataset)
+    outputs = []
+    for start in range(0, len(x), trainer.batch_size):
+        pred = trainer.forward_fn(trainer.model, x[start : start + trainer.batch_size])
+        outputs.append(np.asarray(pred.numpy(), dtype=np.float64))
+    return np.concatenate(outputs, axis=0)
+
+
+def run_workload(emit=print) -> Dict:
+    """Time the legacy and current paths; return the result record."""
+    from repro.core import DeepConfig, LSTMPredictor, Prism5GPredictor
+    from repro.data import SubDatasetSpec, TraceCache, build_subdataset, random_split
+    from repro.nn.modules import fused_kernels
+
+    params = _workload_params()
+    spec = SubDatasetSpec(params["operator"], params["mobility"], params["timescale"])
+    build_kwargs = dict(
+        n_traces=params["n_traces"], samples_per_trace=params["samples_per_trace"]
+    )
+
+    def lstm_config() -> DeepConfig:
+        return DeepConfig(
+            hidden=params["hidden"], max_epochs=params["lstm_epochs"],
+            patience=params["lstm_epochs"],
+        )
+
+    def prism_config() -> DeepConfig:
+        return DeepConfig(
+            hidden=params["hidden"], max_epochs=params["prism_epochs"],
+            patience=params["prism_epochs"],
+        )
+
+    legacy: Dict[str, float] = {}
+    current: Dict[str, float] = {}
+
+    # --- legacy path: serial, uncached, op-by-op, grad-mode predict ---
+    with fused_kernels(False):
+        t0 = time.perf_counter()
+        dataset = build_subdataset(spec, cache=None, processes=1, **build_kwargs)
+        legacy["synthesize"] = time.perf_counter() - t0
+        train, val, test = random_split(dataset.windows, 0.5, 0.2, 0.3, seed=0)
+
+        lstm = LSTMPredictor(lstm_config())
+        t0 = time.perf_counter()
+        lstm.fit(train, val)
+        legacy["lstm_train"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        lstm_pred_legacy = _grad_mode_predict(lstm, test)
+        legacy["lstm_predict"] = time.perf_counter() - t0
+
+        prism = Prism5GPredictor(prism_config())
+        t0 = time.perf_counter()
+        prism.fit(train, val)
+        legacy["prism_train"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        prism_pred_legacy = _grad_mode_predict(prism, test)[:, : test.horizon]
+        legacy["prism_predict"] = time.perf_counter() - t0
+
+    # --- current path: cached synthesis, fused kernels, no_grad ---
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        cache = TraceCache(cache_dir)
+        build_subdataset(spec, cache=cache, **build_kwargs)  # prime (cold, parallel)
+        t0 = time.perf_counter()
+        dataset = build_subdataset(spec, cache=cache, **build_kwargs)
+        current["synthesize"] = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    train, val, test = random_split(dataset.windows, 0.5, 0.2, 0.3, seed=0)
+
+    lstm = LSTMPredictor(lstm_config())
+    t0 = time.perf_counter()
+    lstm.fit(train, val)
+    current["lstm_train"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    lstm_pred = lstm.predict(test)
+    current["lstm_predict"] = time.perf_counter() - t0
+
+    prism = Prism5GPredictor(prism_config())
+    t0 = time.perf_counter()
+    prism.fit(train, val)
+    current["prism_train"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    prism_pred = prism.predict(test)
+    current["prism_predict"] = time.perf_counter() - t0
+
+    legacy["end_to_end"] = sum(legacy.values())
+    current["end_to_end"] = sum(current.values())
+    predictions_match = bool(
+        np.allclose(lstm_pred, lstm_pred_legacy, rtol=1e-9, atol=1e-12)
+        and np.allclose(prism_pred, prism_pred_legacy, rtol=1e-9, atol=1e-12)
+    )
+
+    record = {
+        "workload": params,
+        "legacy_s": {k: round(v, 4) for k, v in legacy.items()},
+        "current_s": {k: round(v, 4) for k, v in current.items()},
+        "speedup": round(legacy["end_to_end"] / current["end_to_end"], 2),
+        "predictions_match": predictions_match,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+    emit("=== PERF: legacy vs current wall-clock (seconds) ===")
+    emit(f"{'phase':<14}{'legacy':>10}{'current':>10}{'speedup':>9}")
+    for phase in ("synthesize", "lstm_train", "lstm_predict", "prism_train", "prism_predict", "end_to_end"):
+        ratio = legacy[phase] / current[phase] if current[phase] > 0 else float("inf")
+        emit(f"{phase:<14}{legacy[phase]:>10.3f}{current[phase]:>10.3f}{ratio:>8.1f}x")
+    emit(f"predictions match: {predictions_match}")
+    return record
+
+
+def load_results() -> Dict:
+    if RESULT_PATH.exists():
+        try:
+            results = json.loads(RESULT_PATH.read_text())
+            if results.get("schema") == RESULT_SCHEMA:
+                return results
+        except (ValueError, OSError):
+            pass
+    return {"schema": RESULT_SCHEMA}
+
+
+def save_results(record: Dict) -> Dict:
+    """Merge ``record`` into BENCH_perf.json; first run becomes baseline."""
+    results = load_results()
+    if "baseline" not in results:
+        results["baseline"] = record
+    results["latest"] = record
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def check_regression(results: Dict, emit=print) -> bool:
+    """True when the latest run is within REGRESSION_FACTOR of baseline."""
+    baseline = results.get("baseline")
+    latest = results.get("latest")
+    if not baseline or not latest:
+        emit("no baseline recorded yet; nothing to check")
+        return True
+    base_total = baseline["current_s"]["end_to_end"]
+    latest_total = latest["current_s"]["end_to_end"]
+    ratio = latest_total / base_total if base_total > 0 else float("inf")
+    ok = ratio <= REGRESSION_FACTOR
+    emit(
+        f"regression check: latest {latest_total:.3f}s vs baseline {base_total:.3f}s "
+        f"({ratio:.2f}x, limit {REGRESSION_FACTOR:.1f}x) -> {'OK' if ok else 'FAIL'}"
+    )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help=f"fail when end-to-end time regresses >{REGRESSION_FACTOR}x vs the recorded baseline",
+    )
+    args = parser.parse_args(argv)
+    record = run_workload()
+    results = save_results(record)
+    print(f"wrote {RESULT_PATH}")
+    if args.check and not check_regression(results):
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (slow; excluded from the default tier-1 run)
+try:
+    import pytest
+
+    from conftest import run_once
+
+    @pytest.mark.slow
+    def test_perf_training(benchmark, report):
+        record = run_once(benchmark, lambda: run_workload(emit=report.emit))
+        results = save_results(record)
+        assert record["predictions_match"]
+        assert check_regression(results, emit=report.emit)
+
+except ImportError:  # pragma: no cover - script mode without pytest
+    pass
+
+
+if __name__ == "__main__":
+    sys.exit(main())

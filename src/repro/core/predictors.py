@@ -180,10 +180,10 @@ class _DeepPredictor(Predictor):
         self.trainer.fit(x_train, train.y, x_val, y_val)
         return self
 
-    def predict(self, dataset: WindowedDataset) -> np.ndarray:
+    def predict(self, dataset: WindowedDataset, float32: bool = False) -> np.ndarray:
         if self.trainer is None:
             raise RuntimeError("predictor has not been fitted")
-        return self.trainer.predict(self._packed(dataset))
+        return self.trainer.predict(self._packed(dataset), float32=float32)
 
 
 class LSTMPredictor(_DeepPredictor):
@@ -302,10 +302,10 @@ class Prism5GPredictor(_DeepPredictor):
         self.trainer.fit(x_train, self._packed_targets(train), x_val, y_val)
         return self
 
-    def predict(self, dataset: WindowedDataset) -> np.ndarray:
+    def predict(self, dataset: WindowedDataset, float32: bool = False) -> np.ndarray:
         if self.trainer is None:
             raise RuntimeError("predictor has not been fitted")
-        return self.trainer.predict(self._packed(dataset))[:, : dataset.horizon]
+        return self.trainer.predict(self._packed(dataset), float32=float32)[:, : dataset.horizon]
 
     def predict_per_cc(self, dataset: WindowedDataset) -> np.ndarray:
         """Per-carrier forecasts (paper Figs 33-34)."""

@@ -28,7 +28,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..nn.modules import Embedding, Linear, LSTM, LSTMCell, GRU, MLP, Module, TransformerEncoder
-from ..nn.tensor import Tensor, concat, stack
+from ..nn.tensor import Tensor, concat, no_grad, stack
 
 
 def pack_inputs(x: np.ndarray, mask: np.ndarray, y_hist: np.ndarray) -> np.ndarray:
@@ -136,8 +136,9 @@ class Prism5G(Module):
         """Roll the shared decoder ``horizon`` steps from state ``h_c``."""
         batch = h_c.shape[0]
         hidden_state = h_c
-        cell_state = Tensor(np.zeros((batch, self.hidden)))
-        step_input = Tensor(np.zeros((batch, 1)))
+        dtype = h_c.data.dtype
+        cell_state = Tensor(np.zeros((batch, self.hidden), dtype=dtype))
+        step_input = Tensor(np.zeros((batch, 1), dtype=dtype))
         outputs: List[Tensor] = []
         for _ in range(self.horizon):
             hidden_state, cell_state = self.decoder_cell(step_input, (hidden_state, cell_state))
@@ -210,9 +211,11 @@ class Prism5G(Module):
     # ------------------------------------------------------------------
     def aggregate_prediction(self, packed: np.ndarray) -> np.ndarray:
         """Aggregate forecast only, shape (batch, horizon)."""
-        return self.forward(Tensor(np.asarray(packed))).numpy()[:, : self.horizon]
+        with no_grad():  # pure inference: skip graph construction
+            return self.forward(Tensor(np.asarray(packed))).numpy()[:, : self.horizon]
 
     def predict_per_cc(self, packed: np.ndarray) -> np.ndarray:
         """Per-carrier predictions, shape (batch, C, horizon) (Fig 33-34)."""
-        preds = self._per_cc_predictions(np.asarray(packed))
+        with no_grad():
+            preds = self._per_cc_predictions(np.asarray(packed))
         return np.stack([p.numpy() for p in preds], axis=1)

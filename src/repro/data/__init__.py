@@ -1,6 +1,7 @@
 """Dataset construction: windowing, normalization, splits (Table 11)."""
 
 from .artifacts import dataset_summary, load_trace_set, save_trace_set
+from .cache import TraceCache, cache_key, default_cache_dir, resolve_cache
 from .datasets import (
     ALL_SUBDATASETS,
     MLDataset,
@@ -16,9 +17,13 @@ __all__ = [
     "ALL_SUBDATASETS",
     "MLDataset",
     "SubDatasetSpec",
+    "TraceCache",
     "WindowedDataset",
     "build_subdataset",
+    "cache_key",
     "dataset_summary",
+    "default_cache_dir",
+    "resolve_cache",
     "flatten_for_trees",
     "load_trace_set",
     "save_trace_set",

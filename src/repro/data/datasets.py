@@ -14,8 +14,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn.preprocessing import MinMaxScaler
+from ..parallel import parallel_map
 from ..ran.simulator import TraceSimulator
 from ..ran.traces import Trace, TraceSet
+from .cache import CacheLike, resolve_cache
 from .windowing import WindowedDataset, window_traces
 
 
@@ -53,43 +55,82 @@ CAMPAIGN_MODEMS: Tuple[str, ...] = ("X70", "X65", "X60", "X70")
 CAMPAIGN_HOURS: Tuple[float, ...] = (0.5, 12.5, 18.5, 3.0)
 
 
+def _synthesize_trace(job: Dict) -> Trace:
+    """Top-level worker so :func:`~repro.parallel.parallel_map` can pickle it."""
+    sim = TraceSimulator(**job["sim"])
+    return sim.run(job["duration_s"], route_id=job["route_id"])
+
+
 def generate_traces(
     spec: SubDatasetSpec,
     n_traces: int = 10,
     samples_per_trace: int = 400,
     seed: int = 0,
     modem: Optional[str] = None,
+    cache: CacheLike = "auto",
+    processes: Optional[int] = None,
 ) -> TraceSet:
     """Generate the raw traces for one sub-dataset.
 
     Traces rotate scenario, UE modem, and time of day, matching the
     heterogeneity of the paper's campaign (different routes, phones and
     collection times per sub-dataset).  Pass ``modem`` to pin one phone.
+
+    Synthesis is cached on disk keyed by a content hash of the full
+    configuration (``cache="auto"``; pass ``None`` to disable, or a
+    :class:`~repro.data.cache.TraceCache` / directory to redirect) and
+    parallelized across traces with ``processes`` workers (default:
+    one per CPU, capped at the trace count; ``REPRO_PROCS`` overrides).
     """
     if n_traces < 1:
         raise ValueError("n_traces must be >= 1")
-    traces: List[Trace] = []
     # Table 11: walking covers outdoor-urban + indoor; driving covers
     # urban + suburban + beltway (highway).
     if spec.mobility == "driving":
         scenarios = ("urban", "suburban", "highway")
     else:
         scenarios = ("urban", "urban", "indoor")
+    jobs: List[Dict] = []
     for run in range(n_traces):
         scenario = scenarios[run % len(scenarios)]
         mobility = "indoor" if scenario == "indoor" else spec.mobility
-        sim = TraceSimulator(
-            operator=spec.operator,
-            scenario=scenario,
-            mobility=mobility,
-            modem=modem or CAMPAIGN_MODEMS[run % len(CAMPAIGN_MODEMS)],
-            rat="5G",
-            dt_s=spec.dt_s,
-            hour=CAMPAIGN_HOURS[run % len(CAMPAIGN_HOURS)],
-            seed=seed * 1000 + run,
+        jobs.append(
+            {
+                "sim": dict(
+                    operator=spec.operator,
+                    scenario=scenario,
+                    mobility=mobility,
+                    modem=modem or CAMPAIGN_MODEMS[run % len(CAMPAIGN_MODEMS)],
+                    rat="5G",
+                    dt_s=spec.dt_s,
+                    hour=CAMPAIGN_HOURS[run % len(CAMPAIGN_HOURS)],
+                    seed=seed * 1000 + run,
+                ),
+                "duration_s": samples_per_trace * spec.dt_s,
+                "route_id": run,
+            }
         )
-        traces.append(sim.run(samples_per_trace * spec.dt_s, route_id=run))
-    return TraceSet(traces)
+
+    def synthesize() -> TraceSet:
+        return TraceSet(parallel_map(_synthesize_trace, jobs, processes=processes))
+
+    trace_cache = resolve_cache(cache)
+    if trace_cache is None:
+        return synthesize()
+    config = {
+        "kind": "subdataset",
+        "operator": spec.operator,
+        "mobility": spec.mobility,
+        "timescale": spec.timescale,
+        "dt_s": spec.dt_s,
+        "n_traces": n_traces,
+        "samples_per_trace": samples_per_trace,
+        "seed": seed,
+        "modem": modem,
+        "modem_rotation": list(CAMPAIGN_MODEMS),
+        "hour_rotation": list(CAMPAIGN_HOURS),
+    }
+    return trace_cache.get_or_create(config, synthesize)
 
 
 @dataclass
@@ -146,9 +187,16 @@ def build_subdataset(
     max_ccs: int = 4,
     stride: int = 1,
     seed: int = 0,
+    cache: CacheLike = "auto",
+    processes: Optional[int] = None,
 ) -> MLDataset:
-    """Generate, window and normalize one of the Table 11 sub-datasets."""
-    traces = generate_traces(spec, n_traces, samples_per_trace, seed)
+    """Generate, window and normalize one of the Table 11 sub-datasets.
+
+    Trace synthesis is cached/parallelized — see :func:`generate_traces`.
+    """
+    traces = generate_traces(
+        spec, n_traces, samples_per_trace, seed, cache=cache, processes=processes
+    )
     windows = window_traces(traces.traces, history, horizon, max_ccs, stride)
     dataset = normalize_windows(windows)
     return MLDataset(

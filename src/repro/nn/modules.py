@@ -16,7 +16,38 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, concat, stack
+from .tensor import Tensor, affine, concat, gru_cell, gru_seq, lstm_cell, lstm_seq, stack
+
+#: global switch for the fused sequence kernels.  On by default; the
+#: op-by-op reference path is kept for gradient property tests and for
+#: before/after benchmarking (``benchmarks/bench_perf_training.py``).
+_FUSED_KERNELS = True
+
+
+def fused_kernels_enabled() -> bool:
+    return _FUSED_KERNELS
+
+
+def set_fused_kernels(enabled: bool) -> bool:
+    """Toggle the fused LSTM/GRU/affine kernels; returns previous value."""
+    global _FUSED_KERNELS
+    previous = _FUSED_KERNELS
+    _FUSED_KERNELS = bool(enabled)
+    return previous
+
+
+class fused_kernels:
+    """Context manager pinning the fused-kernel switch."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def __enter__(self) -> "fused_kernels":
+        self._previous = set_fused_kernels(self.enabled)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_fused_kernels(self._previous)
 
 
 class Module:
@@ -98,6 +129,8 @@ class Linear(Module):
         self.bias = Tensor(np.zeros(out_features), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
+        if _FUSED_KERNELS:
+            return affine(x, self.weight, self.bias)
         return x @ self.weight + self.bias
 
 
@@ -200,6 +233,15 @@ class LSTMCell(Module):
 
     def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
         h_prev, c_prev = state
+        if _FUSED_KERNELS:
+            return lstm_cell(x, h_prev, c_prev, self.weight_ih, self.weight_hh, self.bias)
+        return self.forward_reference(x, state)
+
+    def forward_reference(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        """Op-by-op composition (~15 graph nodes per step); the fused
+        kernel must match it bit-for-bit forward and to numerical
+        precision backward."""
+        h_prev, c_prev = state
         gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
         hs = self.hidden_size
         i = gates[:, 0 * hs : 1 * hs].sigmoid()
@@ -239,15 +281,29 @@ class LSTM(Module):
     ) -> Tuple[Tensor, List[Tuple[Tensor, Tensor]]]:
         batch, time, _ = x.shape
         if state is None:
+            dtype = x.data.dtype
             state = [
-                (Tensor(np.zeros((batch, self.hidden_size))), Tensor(np.zeros((batch, self.hidden_size))))
+                (
+                    Tensor(np.zeros((batch, self.hidden_size), dtype=dtype)),
+                    Tensor(np.zeros((batch, self.hidden_size), dtype=dtype)),
+                )
                 for _ in range(self.num_layers)
             ]
+        else:
+            state = list(state)  # never mutate the caller's list
+        if _FUSED_KERNELS:
+            # one fused graph node per layer covering the whole sequence
+            out = x
+            for layer, cell in enumerate(self.cells):
+                h0, c0 = state[layer]
+                out, h_t, c_t = lstm_seq(out, h0, c0, cell.weight_ih, cell.weight_hh, cell.bias)
+                state[layer] = (h_t, c_t)
+            return out, state
         outputs: List[Tensor] = []
         for t in range(time):
             inp = x[:, t, :]
             for layer, cell in enumerate(self.cells):
-                h, c = cell(inp, state[layer])
+                h, c = cell.forward_reference(inp, state[layer])
                 state[layer] = (h, c)
                 inp = h
             outputs.append(inp)
@@ -270,6 +326,16 @@ class GRUCell(Module):
         self.bias_n = Tensor(np.zeros(hidden_size), requires_grad=True)
 
     def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        if _FUSED_KERNELS:
+            return gru_cell(
+                x, h_prev,
+                self.weight_ih, self.weight_hh, self.bias,
+                self.weight_in, self.weight_hn, self.bias_n,
+            )
+        return self.forward_reference(x, h_prev)
+
+    def forward_reference(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        """Op-by-op composition kept as the fused kernel's oracle."""
         gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
         hs = self.hidden_size
         r = gates[:, :hs].sigmoid()
@@ -302,12 +368,27 @@ class GRU(Module):
     def forward(self, x: Tensor, state: Optional[List[Tensor]] = None) -> Tuple[Tensor, List[Tensor]]:
         batch, time, _ = x.shape
         if state is None:
-            state = [Tensor(np.zeros((batch, self.hidden_size))) for _ in range(self.num_layers)]
+            state = [
+                Tensor(np.zeros((batch, self.hidden_size), dtype=x.data.dtype))
+                for _ in range(self.num_layers)
+            ]
+        else:
+            state = list(state)  # never mutate the caller's list
+        if _FUSED_KERNELS:
+            out = x
+            for layer, cell in enumerate(self.cells):
+                out, h_t = gru_seq(
+                    out, state[layer],
+                    cell.weight_ih, cell.weight_hh, cell.bias,
+                    cell.weight_in, cell.weight_hn, cell.bias_n,
+                )
+                state[layer] = h_t
+            return out, state
         outputs: List[Tensor] = []
         for t in range(time):
             inp = x[:, t, :]
             for layer, cell in enumerate(self.cells):
-                h = cell(inp, state[layer])
+                h = cell.forward_reference(inp, state[layer])
                 state[layer] = h
                 inp = h
             outputs.append(inp)

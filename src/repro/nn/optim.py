@@ -47,11 +47,15 @@ class SGD(Optimizer):
                 continue
             if self.momentum > 0.0:
                 v = self._velocity.get(id(param))
-                v = self.momentum * v + param.grad if v is not None else param.grad.copy()
-                self._velocity[id(param)] = v
-                param.data = param.data - self.lr * v
+                if v is None:
+                    v = param.grad.copy()
+                    self._velocity[id(param)] = v
+                else:
+                    np.multiply(v, self.momentum, out=v)
+                    np.add(v, param.grad, out=v)
+                param.data -= self.lr * v
             else:
-                param.data = param.data - self.lr * param.grad
+                param.data -= self.lr * param.grad
 
 
 class Adam(Optimizer):
@@ -77,6 +81,8 @@ class Adam(Optimizer):
 
     def step(self) -> None:
         self._t += 1
+        bias1 = 1 - self.beta1 ** self._t
+        bias2 = 1 - self.beta2 ** self._t
         for param in self.params:
             if param.grad is None:
                 continue
@@ -88,12 +94,19 @@ class Adam(Optimizer):
                 if norm > self.grad_clip:
                     grad = grad * (self.grad_clip / (norm + 1e-12))
             key = id(param)
-            m = self._m.get(key, np.zeros_like(param.data))
-            v = self._v.get(key, np.zeros_like(param.data))
-            m = self.beta1 * m + (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * grad * grad
-            self._m[key] = m
-            self._v[key] = v
-            m_hat = m / (1 - self.beta1 ** self._t)
-            v_hat = v / (1 - self.beta2 ** self._t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            m = self._m.get(key)
+            v = self._v.get(key)
+            if m is None:
+                m = self._m[key] = np.zeros_like(param.data)
+                v = self._v[key] = np.zeros_like(param.data)
+            # first/second moments updated in place (no per-step reallocs)
+            np.multiply(m, self.beta1, out=m)
+            np.add(m, (1 - self.beta1) * grad, out=m)
+            np.multiply(v, self.beta2, out=v)
+            np.add(v, (1 - self.beta2) * grad * grad, out=v)
+            # update = lr * m_hat / (sqrt(v_hat) + eps), built in one buffer
+            update = np.sqrt(v / bias2)
+            update += self.eps
+            np.divide(m, update, out=update)
+            update *= self.lr / bias1
+            param.data -= update

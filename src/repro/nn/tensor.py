@@ -19,6 +19,47 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
+#: global autograd switch — see :class:`no_grad` / :func:`is_grad_enabled`.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether new operations record backward graphs."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(mode: bool) -> bool:
+    """Set the global autograd switch; returns the previous value."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = bool(mode)
+    return previous
+
+
+class no_grad:
+    """Context manager (and decorator) disabling graph construction.
+
+    Inside the context every tensor op computes forward values only: no
+    parents, no backward closures, no gradient bookkeeping.  This is the
+    inference fast path used by ``Trainer.predict`` and the Prism5G
+    rollout — forward values are bit-identical to grad mode because the
+    same numpy expressions run either way.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._previous = set_grad_enabled(False)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_grad_enabled(self._previous)
+
+    def __call__(self, fn):
+        def wrapped(*args, **kwargs):
+            with no_grad():
+                return fn(*args, **kwargs)
+
+        return wrapped
+
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` over axes that were broadcast so it matches ``shape``."""
@@ -36,6 +77,10 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
+    # float32 arrays pass through untouched (opt-in low-precision
+    # inference); everything else is canonicalized to float64.
+    if isinstance(value, np.ndarray) and value.dtype == np.float32:
+        return value
     arr = np.asarray(value, dtype=np.float64)
     return arr
 
@@ -99,6 +144,9 @@ class Tensor:
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
             self.grad = grad.copy()
+        elif self.grad.shape == grad.shape:
+            # in-place: the buffer is owned (created by the copy above)
+            np.add(self.grad, grad, out=self.grad)
         else:
             self.grad = self.grad + grad
 
@@ -153,22 +201,24 @@ class Tensor:
     # ------------------------------------------------------------------
     def _binary(self, other: ArrayLike, forward, back_self, back_other) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
+        requires = _GRAD_ENABLED and (self.requires_grad or other_t.requires_grad)
         out = Tensor(
             forward(self.data, other_t.data),
-            requires_grad=self.requires_grad or other_t.requires_grad,
-            _parents=(self, other_t),
+            requires_grad=requires,
+            _parents=(self, other_t) if requires else (),
         )
 
-        def _backward() -> None:
-            g = out.grad
-            if self.requires_grad:
-                self._accumulate(_unbroadcast(back_self(g, self.data, other_t.data), self.shape))
-            if other_t.requires_grad:
-                other_t._accumulate(
-                    _unbroadcast(back_other(g, self.data, other_t.data), other_t.shape)
-                )
+        if requires:
 
-        if out.requires_grad:
+            def _backward() -> None:
+                g = out.grad
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(back_self(g, self.data, other_t.data), self.shape))
+                if other_t.requires_grad:
+                    other_t._accumulate(
+                        _unbroadcast(back_other(g, self.data, other_t.data), other_t.shape)
+                    )
+
             out._backward = _backward
         return out
 
@@ -205,12 +255,14 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out = Tensor(self.data ** exponent, requires_grad=self.requires_grad, _parents=(self,))
+        requires = _GRAD_ENABLED and self.requires_grad
+        out = Tensor(self.data ** exponent, requires_grad=requires, _parents=(self,) if requires else ())
 
-        def _backward() -> None:
-            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+        if requires:
 
-        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
             out._backward = _backward
         return out
 
@@ -219,11 +271,14 @@ class Tensor:
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(other)
+        requires = _GRAD_ENABLED and (self.requires_grad or other_t.requires_grad)
         out = Tensor(
             self.data @ other_t.data,
-            requires_grad=self.requires_grad or other_t.requires_grad,
-            _parents=(self, other_t),
+            requires_grad=requires,
+            _parents=(self, other_t) if requires else (),
         )
+        if not requires:
+            return out
 
         def _backward() -> None:
             g = out.grad
@@ -246,8 +301,7 @@ class Tensor:
                     grad_b = np.swapaxes(a, -1, -2) @ g
                 other_t._accumulate(_unbroadcast(grad_b, b.shape))
 
-        if out.requires_grad:
-            out._backward = _backward
+        out._backward = _backward
         return out
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
@@ -257,12 +311,14 @@ class Tensor:
     # Unary nonlinearities
     # ------------------------------------------------------------------
     def _unary(self, value: np.ndarray, local_grad: Callable[[], np.ndarray]) -> "Tensor":
-        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+        requires = _GRAD_ENABLED and self.requires_grad
+        out = Tensor(value, requires_grad=requires, _parents=(self,) if requires else ())
 
-        def _backward() -> None:
-            self._accumulate(out.grad * local_grad())
+        if requires:
 
-        if out.requires_grad:
+            def _backward() -> None:
+                self._accumulate(out.grad * local_grad())
+
             out._backward = _backward
         return out
 
@@ -297,7 +353,8 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         value = exp / exp.sum(axis=axis, keepdims=True)
-        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+        requires = _GRAD_ENABLED and self.requires_grad
+        out = Tensor(value, requires_grad=requires, _parents=(self,) if requires else ())
 
         def _backward() -> None:
             g = out.grad
@@ -313,7 +370,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         value = self.data.sum(axis=axis, keepdims=keepdims)
-        out = Tensor(value, requires_grad=self.requires_grad, _parents=(self,))
+        requires = _GRAD_ENABLED and self.requires_grad
+        out = Tensor(value, requires_grad=requires, _parents=(self,) if requires else ())
 
         def _backward() -> None:
             g = out.grad
@@ -340,7 +398,8 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad, _parents=(self,))
+        requires = _GRAD_ENABLED and self.requires_grad
+        out = Tensor(self.data.reshape(shape), requires_grad=requires, _parents=(self,) if requires else ())
 
         def _backward() -> None:
             self._accumulate(out.grad.reshape(self.shape))
@@ -351,7 +410,8 @@ class Tensor:
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_t: Optional[Tuple[int, ...]] = tuple(axes) if axes else None
-        out = Tensor(self.data.transpose(axes_t), requires_grad=self.requires_grad, _parents=(self,))
+        requires = _GRAD_ENABLED and self.requires_grad
+        out = Tensor(self.data.transpose(axes_t), requires_grad=requires, _parents=(self,) if requires else ())
 
         def _backward() -> None:
             if axes_t is None:
@@ -365,7 +425,8 @@ class Tensor:
         return out
 
     def __getitem__(self, index) -> "Tensor":
-        out = Tensor(self.data[index], requires_grad=self.requires_grad, _parents=(self,))
+        requires = _GRAD_ENABLED and self.requires_grad
+        out = Tensor(self.data[index], requires_grad=requires, _parents=(self,) if requires else ())
 
         def _backward() -> None:
             grad = np.zeros_like(self.data)
@@ -395,8 +456,8 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable)."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     data = np.concatenate([t.data for t in tensors], axis=axis)
-    requires = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
 
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -418,8 +479,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis (differentiable)."""
     tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     data = np.stack([t.data for t in tensors], axis=axis)
-    requires = any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors))
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
 
     def _backward() -> None:
         pieces = np.split(out.grad, len(tensors), axis=axis)
@@ -437,10 +498,11 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     a = a if isinstance(a, Tensor) else Tensor(a)
     b = b if isinstance(b, Tensor) else Tensor(b)
     cond = np.asarray(condition, dtype=bool)
+    requires = _GRAD_ENABLED and (a.requires_grad or b.requires_grad)
     out = Tensor(
         np.where(cond, a.data, b.data),
-        requires_grad=a.requires_grad or b.requires_grad,
-        _parents=(a, b),
+        requires_grad=requires,
+        _parents=(a, b) if requires else (),
     )
 
     def _backward() -> None:
@@ -452,6 +514,403 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     if out.requires_grad:
         out._backward = _backward
     return out
+
+
+# ----------------------------------------------------------------------
+# Fused sequence kernels
+#
+# The op-by-op LSTM/GRU cell composition records ~15 graph nodes per
+# timestep (two matmuls, adds, four slices, four nonlinearities, the
+# elementwise state update).  The kernels below compute the same numpy
+# expressions — in the same evaluation order, so forward values are
+# bit-identical — but record one or two nodes per step with a
+# hand-written, fully vectorized backward.
+# ----------------------------------------------------------------------
+def _sigmoid_np(x: np.ndarray) -> np.ndarray:
+    """Same clipped logistic as :meth:`Tensor.sigmoid` (bit-identical)."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _weight_grad(inp: np.ndarray, g: np.ndarray, weight_shape: Tuple[int, ...]) -> np.ndarray:
+    """dW for ``out = inp @ W`` with ``inp (..., F)`` and ``g (..., O)``."""
+    f, o = weight_shape
+    return inp.reshape(-1, f).T @ g.reshape(-1, o)
+
+
+def affine(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    h: Optional[Tensor] = None,
+    weight_h: Optional[Tensor] = None,
+) -> Tensor:
+    """Fused ``x @ weight [+ h @ weight_h] [+ bias]`` as one graph node.
+
+    Replaces the 2-3 node chain an op-by-op composition would record.
+    Weights must be 2-D ``(in, out)``; ``x``/``h`` may carry leading
+    batch/time axes.
+    """
+    x = _as_tensor(x)
+    weight = _as_tensor(weight)
+    if (h is None) != (weight_h is None):
+        raise ValueError("h and weight_h must be passed together")
+    value = x.data @ weight.data
+    if h is not None:
+        h = _as_tensor(h)
+        weight_h = _as_tensor(weight_h)
+        value = value + h.data @ weight_h.data
+    if bias is not None:
+        bias = _as_tensor(bias)
+        value = value + bias.data
+    operands = [t for t in (x, weight, h, weight_h, bias) if t is not None]
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in operands)
+    out = Tensor(value, requires_grad=requires, _parents=tuple(operands) if requires else ())
+    if not requires:
+        return out
+
+    def _backward() -> None:
+        g = out.grad
+        if x.requires_grad:
+            x._accumulate(g @ weight.data.T)
+        if weight.requires_grad:
+            weight._accumulate(_weight_grad(x.data, g, weight.shape))
+        if h is not None:
+            if h.requires_grad:
+                h._accumulate(g @ weight_h.data.T)
+            if weight_h.requires_grad:
+                weight_h._accumulate(_weight_grad(h.data, g, weight_h.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(_unbroadcast(g, bias.shape))
+
+    out._backward = _backward
+    return out
+
+
+def lstm_cell(
+    x: Tensor,
+    h_prev: Tensor,
+    c_prev: Tensor,
+    weight_ih: Tensor,
+    weight_hh: Tensor,
+    bias: Tensor,
+) -> Tuple[Tensor, Tensor]:
+    """Fused LSTM step (gates packed ``[i, f, g, o]``): two graph nodes.
+
+    Returns ``(h, c)``.  ``c`` is recorded as ``h``'s parent so the
+    output-gate gradient computed in ``h``'s backward can be folded into
+    the single gate-gradient matmul of ``c``'s backward.
+    """
+    x, h_prev, c_prev = _as_tensor(x), _as_tensor(h_prev), _as_tensor(c_prev)
+    hidden = weight_hh.data.shape[0]
+    gates = x.data @ weight_ih.data + h_prev.data @ weight_hh.data + bias.data
+    i = _sigmoid_np(gates[:, 0 * hidden : 1 * hidden])
+    f = _sigmoid_np(gates[:, 1 * hidden : 2 * hidden])
+    g_in = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+    o = _sigmoid_np(gates[:, 3 * hidden : 4 * hidden])
+    c_val = f * c_prev.data + i * g_in
+    tanh_c = np.tanh(c_val)
+    h_val = o * tanh_c
+
+    parents = (x, h_prev, c_prev, weight_ih, weight_hh, bias)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
+    c_out = Tensor(c_val, requires_grad=requires, _parents=parents if requires else ())
+    h_out = Tensor(h_val, requires_grad=requires, _parents=(c_out,) if requires else ())
+    if not requires:
+        return h_out, c_out
+
+    shared: dict = {}
+
+    def _h_backward() -> None:
+        gh = h_out.grad
+        c_out._accumulate(gh * (o * (1.0 - tanh_c * tanh_c)))
+        shared["d_o"] = gh * tanh_c
+
+    def _c_backward() -> None:
+        gc = c_out.grad
+        d_gates = np.empty_like(gates)
+        d_gates[:, 0 * hidden : 1 * hidden] = (gc * g_in) * i * (1.0 - i)
+        d_gates[:, 1 * hidden : 2 * hidden] = (gc * c_prev.data) * f * (1.0 - f)
+        d_gates[:, 2 * hidden : 3 * hidden] = (gc * i) * (1.0 - g_in * g_in)
+        d_o = shared.pop("d_o", None)
+        if d_o is None:  # h was not part of the loss; only c flowed onward
+            d_gates[:, 3 * hidden : 4 * hidden] = 0.0
+        else:
+            d_gates[:, 3 * hidden : 4 * hidden] = d_o * o * (1.0 - o)
+        if c_prev.requires_grad:
+            c_prev._accumulate(gc * f)
+        if x.requires_grad:
+            x._accumulate(d_gates @ weight_ih.data.T)
+        if h_prev.requires_grad:
+            h_prev._accumulate(d_gates @ weight_hh.data.T)
+        if weight_ih.requires_grad:
+            weight_ih._accumulate(x.data.T @ d_gates)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate(h_prev.data.T @ d_gates)
+        if bias.requires_grad:
+            bias._accumulate(d_gates.sum(axis=0))
+
+    h_out._backward = _h_backward
+    c_out._backward = _c_backward
+    return h_out, c_out
+
+
+def gru_cell(
+    x: Tensor,
+    h_prev: Tensor,
+    weight_ih: Tensor,
+    weight_hh: Tensor,
+    bias: Tensor,
+    weight_in: Tensor,
+    weight_hn: Tensor,
+    bias_n: Tensor,
+) -> Tensor:
+    """Fused GRU step (gates packed ``[r, z]``): one graph node."""
+    x, h_prev = _as_tensor(x), _as_tensor(h_prev)
+    hidden = weight_hh.data.shape[0]
+    gates = x.data @ weight_ih.data + h_prev.data @ weight_hh.data + bias.data
+    r = _sigmoid_np(gates[:, :hidden])
+    z = _sigmoid_np(gates[:, hidden:])
+    rh = r * h_prev.data
+    n = np.tanh(x.data @ weight_in.data + rh @ weight_hn.data + bias_n.data)
+    h_val = (1.0 - z) * n + z * h_prev.data
+
+    parents = (x, h_prev, weight_ih, weight_hh, bias, weight_in, weight_hn, bias_n)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
+    out = Tensor(h_val, requires_grad=requires, _parents=parents if requires else ())
+    if not requires:
+        return out
+
+    def _backward() -> None:
+        gh = out.grad
+        dz = gh * (h_prev.data - n)
+        dn_pre = (gh * (1.0 - z)) * (1.0 - n * n)
+        drh = dn_pre @ weight_hn.data.T
+        d_gates = np.empty_like(gates)
+        d_gates[:, :hidden] = (drh * h_prev.data) * r * (1.0 - r)
+        d_gates[:, hidden:] = dz * z * (1.0 - z)
+        if x.requires_grad:
+            x._accumulate(d_gates @ weight_ih.data.T + dn_pre @ weight_in.data.T)
+        if h_prev.requires_grad:
+            h_prev._accumulate(gh * z + drh * r + d_gates @ weight_hh.data.T)
+        if weight_ih.requires_grad:
+            weight_ih._accumulate(x.data.T @ d_gates)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate(h_prev.data.T @ d_gates)
+        if bias.requires_grad:
+            bias._accumulate(d_gates.sum(axis=0))
+        if weight_in.requires_grad:
+            weight_in._accumulate(x.data.T @ dn_pre)
+        if weight_hn.requires_grad:
+            weight_hn._accumulate(rh.T @ dn_pre)
+        if bias_n.requires_grad:
+            bias_n._accumulate(dn_pre.sum(axis=0))
+
+    out._backward = _backward
+    return out
+
+
+def lstm_seq(
+    x: Tensor,
+    h0: Tensor,
+    c0: Tensor,
+    weight_ih: Tensor,
+    weight_hh: Tensor,
+    bias: Tensor,
+) -> Tuple[Tensor, Tensor, Tensor]:
+    """Fused single-layer LSTM over a whole ``(B, T, F)`` sequence.
+
+    One graph node for the entire layer (plus a slice node for the
+    final hidden state): the input projection ``x @ W_ih`` is hoisted
+    out of the time loop as one batched matmul, and the backward is a
+    hand-written BPTT sweep whose weight gradients collapse into single
+    ``(B*T, ·)`` matmuls.  Per-step arithmetic matches the op-by-op
+    cell composition exactly (same expression order), so forward values
+    are bit-identical to :func:`lstm_cell` / the reference cell.
+
+    Returns ``(outputs, h_T, c_T)`` with outputs ``(B, T, H)``.
+    """
+    x, h0, c0 = _as_tensor(x), _as_tensor(h0), _as_tensor(c0)
+    batch, time, _ = x.data.shape
+    hidden = weight_hh.data.shape[0]
+    parents = (x, h0, c0, weight_ih, weight_hh, bias)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
+
+    gx = x.data @ weight_ih.data  # (B, T, 4H): hoisted input projection
+    dtype = np.result_type(gx.dtype, h0.data.dtype, bias.data.dtype)
+    outputs = np.empty((batch, time, hidden), dtype=dtype)
+    if requires:
+        i_all = np.empty((batch, time, hidden), dtype=dtype)
+        f_all = np.empty_like(i_all)
+        g_all = np.empty_like(i_all)
+        o_all = np.empty_like(i_all)
+        tanh_c_all = np.empty_like(i_all)
+        h_prev_all = np.empty_like(i_all)
+        c_prev_all = np.empty_like(i_all)
+    h = h0.data
+    c = c0.data
+    for t in range(time):
+        gates = gx[:, t] + h @ weight_hh.data + bias.data
+        i = _sigmoid_np(gates[:, 0 * hidden : 1 * hidden])
+        f = _sigmoid_np(gates[:, 1 * hidden : 2 * hidden])
+        g_in = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+        o = _sigmoid_np(gates[:, 3 * hidden : 4 * hidden])
+        c_new = f * c + i * g_in
+        tanh_c = np.tanh(c_new)
+        if requires:
+            i_all[:, t], f_all[:, t], g_all[:, t], o_all[:, t] = i, f, g_in, o
+            tanh_c_all[:, t] = tanh_c
+            h_prev_all[:, t] = h
+            c_prev_all[:, t] = c
+        c = c_new
+        h = o * tanh_c
+        outputs[:, t] = h
+
+    out_t = Tensor(outputs, requires_grad=requires, _parents=parents if requires else ())
+    c_t = Tensor(c, requires_grad=requires, _parents=(out_t,) if requires else ())
+    if not requires:
+        return out_t, out_t[:, -1, :], c_t
+
+    shared: dict = {}
+
+    def _c_backward() -> None:
+        shared["dc_T"] = c_t.grad.copy()
+        # make sure the sequence node's backward fires even when only
+        # the cell state flows into the loss
+        out_t._accumulate(np.zeros_like(outputs))
+
+    def _backward() -> None:
+        g_out = out_t.grad
+        dc = shared.pop("dc_T", None)
+        if dc is None:
+            dc = np.zeros((batch, hidden), dtype=dtype)
+        dh_carry = np.zeros((batch, hidden), dtype=dtype)
+        d_gates = np.empty((batch, time, 4 * hidden), dtype=dtype)
+        w_hh_t = weight_hh.data.T
+        for t in range(time - 1, -1, -1):
+            dh = g_out[:, t] + dh_carry
+            i, f = i_all[:, t], f_all[:, t]
+            g_in, o = g_all[:, t], o_all[:, t]
+            tanh_c = tanh_c_all[:, t]
+            dc += dh * (o * (1.0 - tanh_c * tanh_c))
+            d_gates[:, t, 0 * hidden : 1 * hidden] = (dc * g_in) * i * (1.0 - i)
+            d_gates[:, t, 1 * hidden : 2 * hidden] = (dc * c_prev_all[:, t]) * f * (1.0 - f)
+            d_gates[:, t, 2 * hidden : 3 * hidden] = (dc * i) * (1.0 - g_in * g_in)
+            d_gates[:, t, 3 * hidden : 4 * hidden] = (dh * tanh_c) * o * (1.0 - o)
+            dh_carry = d_gates[:, t] @ w_hh_t
+            dc *= f
+        if h0.requires_grad:
+            h0._accumulate(dh_carry)
+        if c0.requires_grad:
+            c0._accumulate(dc)
+        if x.requires_grad:
+            x._accumulate(d_gates @ weight_ih.data.T)
+        flat_g = d_gates.reshape(batch * time, 4 * hidden)
+        if weight_ih.requires_grad:
+            weight_ih._accumulate(x.data.reshape(batch * time, -1).T @ flat_g)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate(h_prev_all.reshape(batch * time, hidden).T @ flat_g)
+        if bias.requires_grad:
+            bias._accumulate(flat_g.sum(axis=0))
+
+    out_t._backward = _backward
+    c_t._backward = _c_backward
+    return out_t, out_t[:, -1, :], c_t
+
+
+def gru_seq(
+    x: Tensor,
+    h0: Tensor,
+    weight_ih: Tensor,
+    weight_hh: Tensor,
+    bias: Tensor,
+    weight_in: Tensor,
+    weight_hn: Tensor,
+    bias_n: Tensor,
+) -> Tuple[Tensor, Tensor]:
+    """Fused single-layer GRU over a ``(B, T, F)`` sequence.
+
+    Same design as :func:`lstm_seq`: hoisted input projections, one
+    graph node per layer, hand-written BPTT.  Returns
+    ``(outputs, h_T)``.
+    """
+    x, h0 = _as_tensor(x), _as_tensor(h0)
+    batch, time, _ = x.data.shape
+    hidden = weight_hh.data.shape[0]
+    parents = (x, h0, weight_ih, weight_hh, bias, weight_in, weight_hn, bias_n)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
+
+    gx = x.data @ weight_ih.data  # (B, T, 2H)
+    nx = x.data @ weight_in.data  # (B, T, H)
+    dtype = np.result_type(gx.dtype, h0.data.dtype, bias.data.dtype)
+    outputs = np.empty((batch, time, hidden), dtype=dtype)
+    if requires:
+        r_all = np.empty((batch, time, hidden), dtype=dtype)
+        z_all = np.empty_like(r_all)
+        n_all = np.empty_like(r_all)
+        rh_all = np.empty_like(r_all)
+        h_prev_all = np.empty_like(r_all)
+    h = h0.data
+    for t in range(time):
+        gates = gx[:, t] + h @ weight_hh.data + bias.data
+        r = _sigmoid_np(gates[:, :hidden])
+        z = _sigmoid_np(gates[:, hidden:])
+        rh = r * h
+        n = np.tanh(nx[:, t] + rh @ weight_hn.data + bias_n.data)
+        if requires:
+            r_all[:, t], z_all[:, t], n_all[:, t] = r, z, n
+            rh_all[:, t] = rh
+            h_prev_all[:, t] = h
+        h = (1.0 - z) * n + z * h
+        outputs[:, t] = h
+
+    out_t = Tensor(outputs, requires_grad=requires, _parents=parents if requires else ())
+    if not requires:
+        return out_t, out_t[:, -1, :]
+
+    def _backward() -> None:
+        g_out = out_t.grad
+        dh_carry = np.zeros((batch, hidden), dtype=dtype)
+        d_gates = np.empty((batch, time, 2 * hidden), dtype=dtype)
+        dn_pre = np.empty((batch, time, hidden), dtype=dtype)
+        w_hh_t = weight_hh.data.T
+        w_hn_t = weight_hn.data.T
+        for t in range(time - 1, -1, -1):
+            dh = g_out[:, t] + dh_carry
+            r, z, n = r_all[:, t], z_all[:, t], n_all[:, t]
+            h_prev = h_prev_all[:, t]
+            dz = dh * (h_prev - n)
+            dnp = (dh * (1.0 - z)) * (1.0 - n * n)
+            dn_pre[:, t] = dnp
+            drh = dnp @ w_hn_t
+            d_gates[:, t, :hidden] = (drh * h_prev) * r * (1.0 - r)
+            d_gates[:, t, hidden:] = dz * z * (1.0 - z)
+            dh_carry = dh * z + drh * r + d_gates[:, t] @ w_hh_t
+        if h0.requires_grad:
+            h0._accumulate(dh_carry)
+        if x.requires_grad:
+            x._accumulate(d_gates @ weight_ih.data.T + dn_pre @ weight_in.data.T)
+        flat_g = d_gates.reshape(batch * time, 2 * hidden)
+        flat_n = dn_pre.reshape(batch * time, hidden)
+        flat_x = x.data.reshape(batch * time, -1)
+        if weight_ih.requires_grad:
+            weight_ih._accumulate(flat_x.T @ flat_g)
+        if weight_hh.requires_grad:
+            weight_hh._accumulate(h_prev_all.reshape(batch * time, hidden).T @ flat_g)
+        if bias.requires_grad:
+            bias._accumulate(flat_g.sum(axis=0))
+        if weight_in.requires_grad:
+            weight_in._accumulate(flat_x.T @ flat_n)
+        if weight_hn.requires_grad:
+            weight_hn._accumulate(rh_all.reshape(batch * time, hidden).T @ flat_n)
+        if bias_n.requires_grad:
+            bias_n._accumulate(flat_n.sum(axis=0))
+
+    out_t._backward = _backward
+    return out_t, out_t[:, -1, :]
 
 
 def numerical_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:

@@ -14,7 +14,7 @@ import numpy as np
 from .losses import mse_loss
 from .modules import Module
 from .optim import Adam
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 @dataclass
@@ -77,12 +77,16 @@ class Trainer:
         self.model.train(train)
         for start in range(0, n, self.batch_size):
             idx = order[start : start + self.batch_size]
-            pred = self.forward_fn(self.model, x[idx])
-            loss = self.loss_fn(pred, Tensor(y[idx]))
             if train:
+                pred = self.forward_fn(self.model, x[idx])
+                loss = self.loss_fn(pred, Tensor(y[idx]))
                 self.optimizer.zero_grad()
                 loss.backward()
                 self.optimizer.step()
+            else:
+                with no_grad():  # validation never needs the graph
+                    pred = self.forward_fn(self.model, x[idx])
+                    loss = self.loss_fn(pred, Tensor(y[idx]))
             total += loss.item() * len(idx)
             count += len(idx)
         return total / max(count, 1)
@@ -124,12 +128,37 @@ class Trainer:
         self.model.eval()
         return history
 
-    def predict(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
-        """Run the model in eval mode over ``x`` in batches."""
+    def predict(
+        self,
+        x: np.ndarray,
+        batch_size: Optional[int] = None,
+        float32: bool = False,
+    ) -> np.ndarray:
+        """Run the model in eval mode over ``x`` in batches.
+
+        The whole pass runs under :class:`~repro.nn.tensor.no_grad`, so
+        no computation graph is recorded — outputs are bit-identical to
+        a grad-mode forward since the same numpy expressions execute.
+        ``float32=True`` temporarily casts the model parameters (and the
+        input) to float32 for a faster, lower-precision pass; weights
+        are restored to their float64 values afterwards.
+        """
         self.model.eval()
         bs = batch_size or self.batch_size
         outputs = []
-        for start in range(0, len(x), bs):
-            pred = self.forward_fn(self.model, x[start : start + bs])
-            outputs.append(pred.numpy())
+        saved: Optional[list] = None
+        if float32:
+            saved = [(p, p.data) for p in self.model.parameters()]
+            for p, data in saved:
+                p.data = data.astype(np.float32)
+            x = np.asarray(x, dtype=np.float32)
+        try:
+            with no_grad():
+                for start in range(0, len(x), bs):
+                    pred = self.forward_fn(self.model, x[start : start + bs])
+                    outputs.append(np.asarray(pred.numpy(), dtype=np.float64))
+        finally:
+            if saved is not None:
+                for p, data in saved:
+                    p.data = data
         return np.concatenate(outputs, axis=0)

@@ -10,11 +10,12 @@ as unique sets, the "270/162"-style counts of Table 2), CA prevalence
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..parallel import parallel_map
 from .operators import OPERATORS, get_operator
 from .simulator import TraceSimulator
 from .traces import Trace, TraceSet
@@ -113,31 +114,75 @@ def _mobility_for(scenario: str) -> str:
     return {"urban": "driving", "suburban": "driving", "highway": "driving", "indoor": "indoor"}[scenario]
 
 
-def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run the full campaign and compute per-cell statistics."""
+def _simulate_campaign_trace(job: Dict) -> Trace:
+    """Top-level worker so :func:`~repro.parallel.parallel_map` can pickle it."""
+    sim = TraceSimulator(**job["sim"])
+    return sim.run(job["duration_s"], route_id=job["route_id"])
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    cache: object = "auto",
+    processes: Optional[int] = None,
+) -> CampaignResult:
+    """Run the full campaign and compute per-cell statistics.
+
+    Traces are synthesized in parallel (``processes`` workers; the
+    ``REPRO_PROCS`` env var overrides) and cached on disk keyed by a
+    hash of ``config`` (``cache="auto"``; pass ``None`` to disable or a
+    :class:`~repro.data.cache.TraceCache` / directory to redirect).
+    Results are identical to the serial, uncached path: seeds are
+    assigned in the original nested-loop order and pool mapping
+    preserves item order.
+    """
     config = config or CampaignConfig()
-    all_traces: List[Trace] = []
-    stats: Dict[Tuple[str, str, str], CAStatistics] = {}
+    jobs: List[Dict] = []
+    keys: List[Tuple[str, str, str]] = []
     seed = config.seed
     for operator in config.operators:
         for rat in config.rats:
             for scenario in config.scenarios:
-                cell_traces: List[Trace] = []
                 for run in range(config.traces_per_cell):
                     seed += 1
-                    sim = TraceSimulator(
-                        operator=operator,
-                        scenario=scenario,
-                        mobility=_mobility_for(scenario),
-                        modem=config.modem,
-                        rat=rat,
-                        dt_s=config.dt_s,
-                        seed=seed,
-                        area_m=1_500.0 if scenario != "urban" else 1_000.0,
+                    jobs.append(
+                        {
+                            "sim": dict(
+                                operator=operator,
+                                scenario=scenario,
+                                mobility=_mobility_for(scenario),
+                                modem=config.modem,
+                                rat=rat,
+                                dt_s=config.dt_s,
+                                seed=seed,
+                                area_m=1_500.0 if scenario != "urban" else 1_000.0,
+                            ),
+                            "duration_s": config.duration_s,
+                            "route_id": run,
+                        }
                     )
-                    cell_traces.append(sim.run(config.duration_s, route_id=run))
-                stats[(operator, rat, scenario)] = analyze_traces(cell_traces, operator, rat)
-                all_traces.extend(cell_traces)
+                    keys.append((operator, rat, scenario))
+
+    def synthesize() -> TraceSet:
+        return TraceSet(parallel_map(_simulate_campaign_trace, jobs, processes=processes))
+
+    from ..data.cache import resolve_cache  # local: avoids import cycle
+
+    trace_cache = resolve_cache(cache)
+    if trace_cache is None:
+        traces = synthesize()
+    else:
+        traces = trace_cache.get_or_create(
+            {"kind": "campaign", **asdict(config)}, synthesize
+        )
+
+    all_traces = list(traces)
+    grouped: Dict[Tuple[str, str, str], List[Trace]] = {}
+    for key, trace in zip(keys, all_traces):
+        grouped.setdefault(key, []).append(trace)
+    stats = {
+        key: analyze_traces(cell_traces, key[0], key[1])
+        for key, cell_traces in grouped.items()
+    }
     return CampaignResult(traces=TraceSet(all_traces), stats=stats)
 
 
