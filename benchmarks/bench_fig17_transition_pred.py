@@ -32,8 +32,11 @@ def test_fig17_transition_zone_prediction(benchmark, scale, report):
         preds = {}
         for name, predictor in predictors.items():
             predictor.fit(train, val)
-            preds[name] = predictor.predict(test)
-        per_cc = predictors["Prism5G"].predict_per_cc(test)
+            if name == "Prism5G":
+                # one forward pass for both aggregate and per-CC outputs
+                preds[name], per_cc = predictor.predict_all(test)
+            else:
+                preds[name] = predictor.predict(test)
         return test, preds, per_cc
 
     test, preds, per_cc = run_once(benchmark, experiment)

@@ -1,14 +1,26 @@
-"""PERF — wall-clock benchmark for the fused-kernel / no-grad / cache PR.
+"""PERF — wall-clock benchmark for the batched-path perf PRs.
 
 Times a Table-4-style workload (synthesize one sub-dataset, train +
 predict an LSTM and a Prism5G model) along two code paths:
 
-* **legacy** — the pre-PR path: serial uncached trace synthesis,
-  op-by-op RNN composition (fused kernels off), and graph-building
-  grad-mode prediction;
-* **current** — the shipped path: warm on-disk trace cache, fused
-  sequence kernels, and ``no_grad`` prediction.
+* **legacy** — the loop-oracle path: serial uncached trace synthesis
+  with the scalar per-cell radio update, op-by-op RNN composition
+  (fused kernels off), per-carrier Prism5G loops (CC folding off), and
+  graph-building grad-mode prediction;
+* **current** — the shipped path: warm on-disk trace cache, vectorized
+  radio update, fused sequence kernels, carrier-folded Prism5G, and
+  ``no_grad`` prediction.
 
+Both model phases train on the *same* dataset (built by the current
+path) so ``predictions_match`` isolates the NN paths' bit-identity;
+the simulator paths differ at ulp level (numpy vs math transcendentals)
+and are compared per-field by the equivalence tests instead.  A
+``stages_s`` section records per-stage micro-timings of each folded
+path against its loop oracle.
+
+Every phase is timed best-of-3 (training is seeded, so repeats do
+identical work): single-shot wall clocks on shared hosts are dominated
+by scheduler noise — the same code has measured 2-3x apart run to run.
 Results (per-phase seconds, end-to-end totals, speedup) go to
 ``BENCH_perf.json`` at the repo root.  The first run records itself as
 the regression baseline; later runs update ``latest`` only.
@@ -68,11 +80,97 @@ def _grad_mode_predict(predictor, dataset) -> np.ndarray:
     return np.concatenate(outputs, axis=0)
 
 
+def _stage_timings(dataset, params) -> Dict[str, float]:
+    """Micro-timings of each folded path against its loop oracle.
+
+    Times one forward+backward of the carrier-folded Prism5G vs the
+    per-CC loop, one fused decoder rollout vs the op-by-op loop, and one
+    vectorized radio step vs the scalar per-cell loop.
+    """
+    from repro.core.prism5g import Prism5G, batched_cc, pack_inputs
+    from repro.nn import Tensor
+    from repro.ran.simulator import TraceSimulator, vectorized_radio
+
+    stages: Dict[str, float] = {}
+
+    def best_of(fn, repeat=7) -> float:
+        # best-of-N: single-shot timings on shared hosts are dominated
+        # by scheduler noise (observed 2-3x spikes on identical code)
+        times = []
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    windows = dataset.windows
+    packed = pack_inputs(windows.x, windows.mask, windows.y_hist)
+    model = Prism5G(
+        n_ccs=windows.n_ccs, n_features=windows.x.shape[3],
+        horizon=windows.horizon, hidden=params["hidden"],
+    )
+
+    # one training step at the trainer's batch size — the shape
+    # prism_train actually runs; folding wins by collapsing C
+    # per-carrier kernel calls into one C-times-taller call
+    batch = packed[: min(128, len(packed))]
+
+    def fwd_bwd() -> None:
+        loss = (model(Tensor(batch)) ** 2).mean()
+        model.zero_grad()
+        loss.backward()
+
+    with batched_cc(False):
+        stages["prism_fwd_bwd_loop"] = best_of(fwd_bwd)
+    with batched_cc(True):
+        stages["prism_fwd_bwd_folded"] = best_of(fwd_bwd)
+
+    # decoder rollout over every (sample, carrier) state: the loop
+    # oracle is the op-by-op step loop; the fused path is exactly what
+    # _forward_folded ships — per-carrier lstm_decoder_seq calls so the
+    # step arrays stay L2-resident (see _FOLD_CHUNK_ROWS)
+    n = len(packed)
+    h0 = Tensor(np.zeros((n * windows.n_ccs, params["hidden"])))
+    h0_parts = [Tensor(np.zeros((n, params["hidden"]))) for _ in range(windows.n_ccs)]
+    stages["decoder_rollout_loop"] = best_of(lambda: model._decode_loop(h0))
+    stages["decoder_rollout_fused"] = best_of(
+        lambda: [model._decode(part) for part in h0_parts]
+    )
+
+    def sim_steps(vec: bool) -> None:
+        with vectorized_radio(vec):
+            sim = TraceSimulator(operator=params["operator"], seed=11, dt_s=0.1)
+            sim.run(30.0)
+
+    stages["sim_300_steps_loop"] = best_of(lambda: sim_steps(False), repeat=5)
+    stages["sim_300_steps_vec"] = best_of(lambda: sim_steps(True), repeat=5)
+    return stages
+
+
+def _tune_allocator() -> None:
+    """Raise glibc's mmap threshold so multi-MB activation buffers are
+    recycled from the heap instead of being mmap'd and page-faulted anew
+    on every training step.  Linux-only, best effort; results are
+    bit-identical either way — this only changes where buffers live.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        libc.mallopt(-3, 512 * 1024 * 1024)  # M_MMAP_THRESHOLD
+    except (OSError, AttributeError):  # pragma: no cover - non-glibc hosts
+        pass
+
+
 def run_workload(emit=print) -> Dict:
     """Time the legacy and current paths; return the result record."""
     from repro.core import DeepConfig, LSTMPredictor, Prism5GPredictor
+    from repro.core.prism5g import batched_cc
     from repro.data import SubDatasetSpec, TraceCache, build_subdataset, random_split
     from repro.nn.modules import fused_kernels
+    from repro.ran.simulator import vectorized_radio
+
+    _tune_allocator()
 
     params = _workload_params()
     spec = SubDatasetSpec(params["operator"], params["mobility"], params["timescale"])
@@ -95,56 +193,65 @@ def run_workload(emit=print) -> Dict:
     legacy: Dict[str, float] = {}
     current: Dict[str, float] = {}
 
-    # --- legacy path: serial, uncached, op-by-op, grad-mode predict ---
-    with fused_kernels(False):
-        t0 = time.perf_counter()
-        dataset = build_subdataset(spec, cache=None, processes=1, **build_kwargs)
-        legacy["synthesize"] = time.perf_counter() - t0
-        train, val, test = random_split(dataset.windows, 0.5, 0.2, 0.3, seed=0)
+    def timed(fn, repeat: int = 3):
+        """Best-of-N wall clock (shared hosts show 2-3x scheduler spikes).
 
-        lstm = LSTMPredictor(lstm_config())
-        t0 = time.perf_counter()
-        lstm.fit(train, val)
-        legacy["lstm_train"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        lstm_pred_legacy = _grad_mode_predict(lstm, test)
-        legacy["lstm_predict"] = time.perf_counter() - t0
+        Training is seeded and deterministic, so every repeat does
+        identical work and returns an identical result.
+        """
+        best, result = float("inf"), None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
 
-        prism = Prism5GPredictor(prism_config())
-        t0 = time.perf_counter()
-        prism.fit(train, val)
-        legacy["prism_train"] = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        prism_pred_legacy = _grad_mode_predict(prism, test)[:, : test.horizon]
-        legacy["prism_predict"] = time.perf_counter() - t0
+    # --- legacy synthesis: serial, uncached, scalar per-cell radio ---
+    with vectorized_radio(False):
+        legacy["synthesize"], _ = timed(
+            lambda: build_subdataset(spec, cache=None, processes=1, **build_kwargs)
+        )
 
-    # --- current path: cached synthesis, fused kernels, no_grad ---
+    # --- current synthesis: warm on-disk cache, vectorized radio ---
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
     try:
         cache = TraceCache(cache_dir)
         build_subdataset(spec, cache=cache, **build_kwargs)  # prime (cold, parallel)
-        t0 = time.perf_counter()
-        dataset = build_subdataset(spec, cache=cache, **build_kwargs)
-        current["synthesize"] = time.perf_counter() - t0
+        current["synthesize"], dataset = timed(
+            lambda: build_subdataset(spec, cache=cache, **build_kwargs)
+        )
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+    # both model phases train on this dataset so predictions_match
+    # isolates the NN paths (bit-identical by construction)
     train, val, test = random_split(dataset.windows, 0.5, 0.2, 0.3, seed=0)
 
-    lstm = LSTMPredictor(lstm_config())
-    t0 = time.perf_counter()
-    lstm.fit(train, val)
-    current["lstm_train"] = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    lstm_pred = lstm.predict(test)
-    current["lstm_predict"] = time.perf_counter() - t0
+    def fit_lstm():
+        predictor = LSTMPredictor(lstm_config())
+        predictor.fit(train, val)
+        return predictor
 
-    prism = Prism5GPredictor(prism_config())
-    t0 = time.perf_counter()
-    prism.fit(train, val)
-    current["prism_train"] = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    prism_pred = prism.predict(test)
-    current["prism_predict"] = time.perf_counter() - t0
+    def fit_prism():
+        predictor = Prism5GPredictor(prism_config())
+        predictor.fit(train, val)
+        return predictor
+
+    # --- legacy models: op-by-op kernels, per-CC loops, grad-mode ---
+    with fused_kernels(False), batched_cc(False):
+        legacy["lstm_train"], lstm = timed(fit_lstm)
+        legacy["lstm_predict"], lstm_pred_legacy = timed(
+            lambda: _grad_mode_predict(lstm, test)
+        )
+        legacy["prism_train"], prism = timed(fit_prism)
+        legacy["prism_predict"], prism_pred_legacy = timed(
+            lambda: _grad_mode_predict(prism, test)[:, : test.horizon]
+        )
+
+    # --- current models: fused kernels, CC folding, no_grad predict ---
+    current["lstm_train"], lstm = timed(fit_lstm)
+    current["lstm_predict"], lstm_pred = timed(lambda: lstm.predict(test))
+    current["prism_train"], prism = timed(fit_prism)
+    current["prism_predict"], prism_pred = timed(lambda: prism.predict(test))
 
     legacy["end_to_end"] = sum(legacy.values())
     current["end_to_end"] = sum(current.values())
@@ -152,11 +259,13 @@ def run_workload(emit=print) -> Dict:
         np.allclose(lstm_pred, lstm_pred_legacy, rtol=1e-9, atol=1e-12)
         and np.allclose(prism_pred, prism_pred_legacy, rtol=1e-9, atol=1e-12)
     )
+    stages = _stage_timings(dataset, params)
 
     record = {
         "workload": params,
         "legacy_s": {k: round(v, 4) for k, v in legacy.items()},
         "current_s": {k: round(v, 4) for k, v in current.items()},
+        "stages_s": {k: round(v, 4) for k, v in stages.items()},
         "speedup": round(legacy["end_to_end"] / current["end_to_end"], 2),
         "predictions_match": predictions_match,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -168,6 +277,14 @@ def run_workload(emit=print) -> Dict:
         ratio = legacy[phase] / current[phase] if current[phase] > 0 else float("inf")
         emit(f"{phase:<14}{legacy[phase]:>10.3f}{current[phase]:>10.3f}{ratio:>8.1f}x")
     emit(f"predictions match: {predictions_match}")
+    emit("--- per-stage folded vs loop (seconds) ---")
+    for loop_key, fold_key in (
+        ("prism_fwd_bwd_loop", "prism_fwd_bwd_folded"),
+        ("decoder_rollout_loop", "decoder_rollout_fused"),
+        ("sim_300_steps_loop", "sim_300_steps_vec"),
+    ):
+        ratio = stages[loop_key] / stages[fold_key] if stages[fold_key] > 0 else float("inf")
+        emit(f"{fold_key:<24}{stages[loop_key]:>10.4f}{stages[fold_key]:>10.4f}{ratio:>8.1f}x")
     return record
 
 

@@ -18,8 +18,8 @@ import numpy as np
 from ..data.windowing import WindowedDataset, flatten_for_trees
 from ..forecast.prophet import StructuralProphet
 from ..nn.losses import rmse
-from ..nn.modules import Linear, LSTM, LSTMCell, Module, TCN
-from ..nn.tensor import Tensor, concat, stack
+from ..nn.modules import Linear, LSTM, LSTMCell, Module, TCN, fused_kernels_enabled
+from ..nn.tensor import Tensor, concat, lstm_decoder_seq, stack
 from ..nn.training import Trainer
 from ..trees.boosting import GradientBoostingRegressor
 from ..trees.forest import RandomForestRegressor
@@ -120,6 +120,20 @@ class _Seq2Seq(Module):
         h, c = state[0]
         data = x.data if isinstance(x, Tensor) else np.asarray(x)
         step_input = Tensor(data[:, -1, -1:])  # last observed throughput
+        if fused_kernels_enabled():
+            # whole rollout as one graph node (hand-written BPTT)
+            preds = lstm_decoder_seq(
+                step_input,
+                h,
+                c,
+                self.decoder_cell.weight_ih,
+                self.decoder_cell.weight_hh,
+                self.decoder_cell.bias,
+                self.head.weight,
+                self.head.bias,
+                self.horizon,
+            )
+            return preds.reshape(data.shape[0], self.horizon)
         outputs = []
         for _ in range(self.horizon):
             h, c = self.decoder_cell(step_input, (h, c))
@@ -306,6 +320,16 @@ class Prism5GPredictor(_DeepPredictor):
         if self.trainer is None:
             raise RuntimeError("predictor has not been fitted")
         return self.trainer.predict(self._packed(dataset), float32=float32)[:, : dataset.horizon]
+
+    def predict_all(self, dataset: WindowedDataset) -> "tuple[np.ndarray, np.ndarray]":
+        """``(aggregate, per_cc)`` forecasts from one forward pass.
+
+        Callers that need both (Figs 33-34) should use this instead of
+        ``predict`` + ``predict_per_cc``, which runs the network twice.
+        """
+        if self.model is None:
+            raise RuntimeError("predictor has not been fitted")
+        return self.model.predict_all(self._packed(dataset))
 
     def predict_per_cc(self, dataset: WindowedDataset) -> np.ndarray:
         """Per-carrier forecasts (paper Figs 33-34)."""

@@ -27,8 +27,57 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..nn.modules import Embedding, Linear, LSTM, LSTMCell, GRU, MLP, Module, TransformerEncoder
-from ..nn.tensor import Tensor, concat, no_grad, stack
+from ..nn.modules import (
+    Embedding,
+    Linear,
+    LSTM,
+    LSTMCell,
+    GRU,
+    MLP,
+    Module,
+    TransformerEncoder,
+    fused_kernels_enabled,
+)
+from ..nn.tensor import Tensor, concat, lstm_decoder_seq, no_grad, stack
+
+#: global switch for the carrier-folded (batched) forward.  On by
+#: default; the per-CC Python loop is kept as a bit-identity oracle for
+#: the property tests and before/after benchmarking — the same pattern
+#: as ``repro.nn.modules.set_fused_kernels``.
+_BATCHED_CC = True
+
+#: row cap per fused-kernel call in the folded forward.  Recurrent step
+#: arrays at the full fold height (C·B rows) spill the L2 cache, so the
+#: folded path runs the encoder/decoder over row blocks of at most this
+#: many sequences.  Values are unaffected: wide-GEMM rows are invariant
+#: to batch height, everything else is elementwise.
+_FOLD_CHUNK_ROWS = 512
+
+
+def batched_cc_enabled() -> bool:
+    return _BATCHED_CC
+
+
+def set_batched_cc(enabled: bool) -> bool:
+    """Toggle the carrier-folded forward; returns the previous value."""
+    global _BATCHED_CC
+    previous = _BATCHED_CC
+    _BATCHED_CC = bool(enabled)
+    return previous
+
+
+class batched_cc:
+    """Context manager pinning the carrier-folding switch."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+    def __enter__(self) -> "batched_cc":
+        self._previous = set_batched_cc(self.enabled)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_batched_cc(self._previous)
 
 
 def pack_inputs(x: np.ndarray, mask: np.ndarray, y_hist: np.ndarray) -> np.ndarray:
@@ -132,8 +181,35 @@ class Prism5G(Module):
             self.decoder_cell = LSTMCell(1, hidden, rng=rng)
             self.decoder_out = Linear(hidden, 1, rng=rng)
 
-    def _decode(self, h_c: Tensor) -> Tensor:
-        """Roll the shared decoder ``horizon`` steps from state ``h_c``."""
+    def _decode(self, h_c: Tensor, chunks: int = 1) -> Tensor:
+        """Roll the shared decoder ``horizon`` steps from state ``h_c``.
+
+        With the fused kernels enabled the whole rollout is one
+        :func:`~repro.nn.tensor.lstm_decoder_seq` graph node; the
+        step-by-step loop is kept as its bit-identity oracle.
+        ``chunks`` (the carrier count when folding) splits the narrow
+        head projection so its GEMV rounding matches the per-CC loop.
+        """
+        batch = h_c.shape[0]
+        dtype = h_c.data.dtype
+        if fused_kernels_enabled():
+            preds = lstm_decoder_seq(
+                Tensor(np.zeros((batch, 1), dtype=dtype)),
+                h_c,
+                Tensor(np.zeros((batch, self.hidden), dtype=dtype)),
+                self.decoder_cell.weight_ih,
+                self.decoder_cell.weight_hh,
+                self.decoder_cell.bias,
+                self.decoder_out.weight,
+                self.decoder_out.bias,
+                self.horizon,
+                out_chunks=chunks,
+            )
+            return preds.reshape(batch, self.horizon)
+        return self._decode_loop(h_c)
+
+    def _decode_loop(self, h_c: Tensor) -> Tensor:
+        """Op-by-op decoder rollout (oracle for the fused primitive)."""
         batch = h_c.shape[0]
         hidden_state = h_c
         dtype = h_c.data.dtype
@@ -153,8 +229,88 @@ class Prism5G(Module):
         return self._decode(h_c)
 
     # ------------------------------------------------------------------
+    def _forward_folded(self, data: np.ndarray) -> Tensor:
+        """Carrier-folded forward: one encoder/decoder call for all CCs.
+
+        The per-CC inputs ``(B, T, C, F+2)`` are folded carrier-major to
+        ``(C*B, T, F+2)`` — row ``c*B + b`` is carrier ``c`` of sample
+        ``b`` — so the weight-shared encoder runs as a single fused
+        sequence kernel over ``C*B`` sequences instead of ``C`` separate
+        calls, and the decoder rollout likewise folds carriers into the
+        batch axis.  Values are bit-identical to the per-CC loop: the
+        wide GEMMs produce the same rows regardless of batch height,
+        every other op is elementwise or a pure reshape, and the narrow
+        head projections are evaluated per carrier-contiguous chunk so
+        their GEMV rounding matches the loop's row count (see
+        :func:`~repro.nn.tensor.lstm_decoder_seq`).
+        """
+        x, mask, y_hist = unpack_inputs(data, self.n_ccs, self.n_features)
+        n, t, c, f = x.shape
+
+        features = x * mask[..., None] if self.use_state_trigger else x
+        hist = np.broadcast_to(y_hist[:, :, None, None], (n, t, c, 1))
+        folded = np.concatenate([features, mask[..., None], hist], axis=3)
+        # (B, T, C, F+2) -> (C*B, T, F+2), carrier-major
+        folded = folded.transpose(2, 0, 1, 3).reshape(c * n, t, f + 2)
+
+        rows = c * n
+        if rows > _FOLD_CHUNK_ROWS and self._rnn_kind != "transformer":
+            # L2 blocking: at full fold height the recurrent step loop's
+            # working set spills the cache, so run the (row-independent)
+            # encoder over near-equal row blocks.  The wide gate GEMMs
+            # are batch-height invariant, so the fold stays bit-identical.
+            n_blocks = -(-rows // _FOLD_CHUNK_ROWS)
+            base, rem = divmod(rows, n_blocks)
+            h_parts: List[Tensor] = []
+            start = 0
+            for j in range(n_blocks):
+                stop = start + base + (1 if j < rem else 0)
+                block_out, _ = self.encoder(Tensor(folded[start:stop]))
+                h_parts.append(block_out[:, -1, :])
+                start = stop
+            h_last = concat(h_parts, axis=0).reshape(c, n, self.hidden)
+        else:
+            enc_out, _ = self.encoder(Tensor(folded))
+            h_last = enc_out[:, -1, :].reshape(c, n, self.hidden)
+
+        if self.use_fusion:
+            combo_index = self._combo_indices(mask)
+            embed = self.combo_embedding(combo_index)
+            h_cat = h_last.transpose(1, 0, 2).reshape(n, c * self.hidden)
+            h_fusion = self.fusion(concat([h_cat, embed], axis=1))
+            h_head = h_last + h_fusion.reshape(1, n, self.hidden)
+        else:
+            h_head = h_last
+
+        if self.head_kind == "decoder" and fused_kernels_enabled():
+            if rows > _FOLD_CHUNK_ROWS:
+                # same L2 blocking for the rollout; per-carrier blocks
+                # keep the head's GEMV row count equal to the loop's
+                preds = concat([self._decode(h_head[cc]) for cc in range(c)], axis=0)
+            else:
+                preds = self._decode(h_head.reshape(c * n, self.hidden), chunks=c)
+        else:
+            # mlp head / unfused decoder: narrow output GEMMs are not
+            # batch-height invariant, so apply the head per carrier
+            preds = concat([self._apply_head(h_head[cc]) for cc in range(c)], axis=0)
+        preds = preds.reshape(c, n, self.horizon)
+        if self.use_state_trigger:
+            preds = preds * Tensor(np.ascontiguousarray(mask[:, -1, :].T)[:, :, None])
+
+        # sequential per-CC adds (not a tree reduction) so the aggregate
+        # matches the loop oracle bit for bit
+        total = preds[0]
+        for cc in range(1, c):
+            total = total + preds[cc]
+        per_cc_flat = preds.transpose(1, 2, 0).reshape(n, self.horizon * c)
+        return concat([total, per_cc_flat], axis=1)
+
     def _per_cc_predictions(self, packed) -> List[Tensor]:
-        """Per-carrier forecast tensors, each (batch, horizon)."""
+        """Per-carrier forecast tensors, each (batch, horizon).
+
+        The per-CC Python loop — kept as the bit-identity oracle for
+        :meth:`_forward_folded` (toggle with :func:`set_batched_cc`).
+        """
         data = packed.data if isinstance(packed, Tensor) else np.asarray(packed)
         x, mask, y_hist = unpack_inputs(data, self.n_ccs, self.n_features)
 
@@ -192,8 +348,12 @@ class Prism5G(Module):
         the per-CC heads); the rest are the per-CC forecasts flattened
         ``(horizon, C)``-major, used for per-carrier supervision and
         Fig 33-34 style per-cell plots.  Use
-        :meth:`aggregate_prediction` / :meth:`predict_per_cc` to slice.
+        :meth:`aggregate_prediction` / :meth:`predict_per_cc` to slice,
+        or :meth:`predict_all` for both in one pass.
         """
+        data = packed.data if isinstance(packed, Tensor) else np.asarray(packed)
+        if _BATCHED_CC:
+            return self._forward_folded(data)
         per_cc = self._per_cc_predictions(packed)
         total: Optional[Tensor] = None
         for pred_c in per_cc:
@@ -209,13 +369,27 @@ class Prism5G(Module):
         return last @ weights
 
     # ------------------------------------------------------------------
+    def predict_all(self, packed: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """One inference forward returning ``(aggregate, per_cc)``.
+
+        ``aggregate`` has shape (batch, horizon); ``per_cc`` has shape
+        (batch, C, horizon).  Callers that need both (Fig 33-34 style
+        plots) should use this instead of calling
+        :meth:`aggregate_prediction` then :meth:`predict_per_cc`, which
+        would run the network twice.
+        """
+        with no_grad():  # pure inference: skip graph construction
+            out = self.forward(Tensor(np.asarray(packed))).numpy()
+        agg = out[:, : self.horizon]
+        per_cc = np.ascontiguousarray(
+            out[:, self.horizon :].reshape(-1, self.horizon, self.n_ccs).transpose(0, 2, 1)
+        )
+        return agg, per_cc
+
     def aggregate_prediction(self, packed: np.ndarray) -> np.ndarray:
         """Aggregate forecast only, shape (batch, horizon)."""
-        with no_grad():  # pure inference: skip graph construction
-            return self.forward(Tensor(np.asarray(packed))).numpy()[:, : self.horizon]
+        return self.predict_all(packed)[0]
 
     def predict_per_cc(self, packed: np.ndarray) -> np.ndarray:
         """Per-carrier predictions, shape (batch, C, horizon) (Fig 33-34)."""
-        with no_grad():
-            preds = self._per_cc_predictions(np.asarray(packed))
-        return np.stack([p.numpy() for p in preds], axis=1)
+        return self.predict_all(packed)[1]

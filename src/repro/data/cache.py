@@ -35,7 +35,7 @@ from ..ran.traces import TraceSet
 from .artifacts import MANIFEST_NAME, load_trace_set, save_trace_set
 
 #: bump when simulator/windowing semantics change so stale entries miss.
-CACHE_SCHEMA_VERSION = "repro-traces-v1"
+CACHE_SCHEMA_VERSION = "repro-traces-v2"  # v2: vectorized radio update (ulp-level value shifts)
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_NO_CACHE"

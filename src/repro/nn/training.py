@@ -102,7 +102,11 @@ class Trainer:
         if len(x_train) != len(y_train):
             raise ValueError("x_train and y_train must have equal length")
         history = TrainingHistory()
+        # best-model checkpoint buffers, allocated once and reused across
+        # improving epochs (np.copyto) instead of rebuilding a deep-copied
+        # state_dict every time validation improves
         best_state: Optional[Dict[str, np.ndarray]] = None
+        params = dict(self.model.named_parameters())
         stale = 0
         for epoch in range(self.max_epochs):
             train_loss = self._epoch(x_train, y_train, train=True)
@@ -115,7 +119,11 @@ class Trainer:
             if val_loss < history.best_val_loss - 1e-9:
                 history.best_val_loss = val_loss
                 history.best_epoch = epoch
-                best_state = self.model.state_dict()
+                if best_state is None:
+                    best_state = {name: p.data.copy() for name, p in params.items()}
+                else:
+                    for name, p in params.items():
+                        np.copyto(best_state[name], p.data)
                 stale = 0
             else:
                 stale += 1
@@ -124,7 +132,8 @@ class Trainer:
             if stale >= self.patience:
                 break
         if best_state is not None:
-            self.model.load_state_dict(best_state)
+            for name, p in params.items():
+                np.copyto(p.data, best_state[name])
         self.model.eval()
         return history
 

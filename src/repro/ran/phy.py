@@ -128,13 +128,25 @@ CQI_EFFICIENCY_256QAM: Tuple[float, ...] = (
 MAX_CQI = len(CQI_EFFICIENCY_256QAM) - 1
 
 
+#: CQI efficiencies (CQI 1..15) as a sorted array for binary search.
+_CQI_EFF_SORTED = np.array(CQI_EFFICIENCY_256QAM[1:], dtype=np.float64)
+
+
 def cqi_from_sinr(sinr_db: float) -> int:
     """Map SINR to CQI via the standard ~2 dB-per-step link abstraction.
 
     Uses the Shannon-gap approximation ``eff = log2(1 + SINR/gap)`` with a
     3 dB implementation gap, then picks the highest CQI whose efficiency
-    is supported.
+    is supported.  The efficiency table is strictly increasing, so the
+    scan reduces to one binary search.
     """
+    gap = 10 ** (3.0 / 10.0)
+    capacity = math.log2(1.0 + 10 ** (sinr_db / 10.0) / gap)
+    return int(np.searchsorted(_CQI_EFF_SORTED, capacity, side="right"))
+
+
+def _cqi_from_sinr_scan(sinr_db: float) -> int:
+    """Linear-scan reference for :func:`cqi_from_sinr` (equivalence tests)."""
     gap = 10 ** (3.0 / 10.0)
     capacity = math.log2(1.0 + 10 ** (sinr_db / 10.0) / gap)
     cqi = 0
@@ -144,8 +156,22 @@ def cqi_from_sinr(sinr_db: float) -> int:
     return cqi
 
 
+#: MCS spectral efficiencies (Qm * R), strictly increasing over the table.
+_MCS_EFF_SORTED = np.array(
+    [qm * r1024 / 1024.0 for qm, r1024 in MCS_TABLE_256QAM], dtype=np.float64
+)
+
+
 def mcs_from_cqi(cqi: int) -> int:
     """Pick the highest MCS whose efficiency does not exceed the CQI's."""
+    if not 0 <= cqi <= MAX_CQI:
+        raise ValueError(f"CQI must be in [0, {MAX_CQI}]")
+    target = CQI_EFFICIENCY_256QAM[cqi]
+    return max(0, int(np.searchsorted(_MCS_EFF_SORTED, target + 1e-9, side="right")) - 1)
+
+
+def _mcs_from_cqi_scan(cqi: int) -> int:
+    """Linear-scan reference for :func:`mcs_from_cqi` (equivalence tests)."""
     if not 0 <= cqi <= MAX_CQI:
         raise ValueError(f"CQI must be in [0, {MAX_CQI}]")
     target = CQI_EFFICIENCY_256QAM[cqi]

@@ -42,6 +42,23 @@ def urban_macro_pathloss_db(distance_m: float, freq_mhz: float, los: bool = Fals
     return 13.54 + 39.08 * math.log10(distance_m) + 20.0 * math.log10(f_ghz)
 
 
+def urban_macro_pathloss_db_array(
+    distance_m: np.ndarray, freq_mhz: np.ndarray, los: bool = False
+) -> np.ndarray:
+    """Vectorized :func:`urban_macro_pathloss_db` over candidate arrays.
+
+    Same model expressions evaluated with numpy ufuncs; SIMD
+    transcendentals round differently from ``math.log10`` in the last
+    ulp, so results match the scalar path to ~1e-12 relative, not bit
+    for bit (see the simulator's per-field equivalence tests).
+    """
+    d = np.maximum(np.asarray(distance_m, dtype=np.float64), 10.0)
+    f_ghz = np.asarray(freq_mhz, dtype=np.float64) / 1e3
+    if los:
+        return 28.0 + 22.0 * np.log10(d) + 20.0 * np.log10(f_ghz)
+    return 13.54 + 39.08 * np.log10(d) + 20.0 * np.log10(f_ghz)
+
+
 def indoor_penetration_loss_db(freq_mhz: float) -> float:
     """Building-entry loss, strongly frequency dependent (TR 38.901 §7.4.3).
 

@@ -28,6 +28,7 @@ from .propagation import (
     noise_power_dbm,
     rsrp_dbm,
     urban_macro_pathloss_db,
+    urban_macro_pathloss_db_array,
 )
 from .scheduler import Scheduler
 from .traces import CCSample, Trace, TraceRecord
@@ -49,6 +50,45 @@ _SHADOW_WEIGHTS = (0.40, 0.45, 0.15)
 _SHADOW_SIGMA_DB = 6.0
 _SHADOW_DECORR_M = 50.0
 _LOS_BLEND_M = 150.0
+
+#: co-channel activity factor: planned reuse + partial load.
+_CO_CHANNEL_ACTIVITY = 0.3
+
+# Vectorized per-step radio update (pathloss / shadowing mix / RSRP /
+# RSRQ / SINR / interference across all candidate cells as arrays).
+# The scalar per-cell loop is kept as the equivalence oracle; RNG draw
+# order is identical in both paths, but numpy's SIMD transcendentals
+# round differently from math.* in the last ulp, so traces match
+# per-field to tight tolerances rather than bit for bit.
+_VECTORIZED_RADIO = True
+
+
+def vectorized_radio_enabled() -> bool:
+    """Whether the array-based candidate radio update is active."""
+    return _VECTORIZED_RADIO
+
+
+def set_vectorized_radio(enabled: bool) -> bool:
+    """Toggle the vectorized radio update; returns the previous setting."""
+    global _VECTORIZED_RADIO
+    previous = _VECTORIZED_RADIO
+    _VECTORIZED_RADIO = bool(enabled)
+    return previous
+
+
+class vectorized_radio:
+    """Context manager pinning the vectorized-radio switch."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.previous: Optional[bool] = None
+
+    def __enter__(self) -> "vectorized_radio":
+        self.previous = set_vectorized_radio(self.enabled)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_vectorized_radio(self.previous)
 
 
 class TraceSimulator:
@@ -149,6 +189,7 @@ class TraceSimulator:
         self._site_shadow: Dict[int, float] = {}
         self._band_shadow: Dict[Tuple[int, str], float] = {}
         self._candidates: List[Cell] = []
+        self._cand_nrb_by_id: Dict[int, int] = {}
         self._since_refresh = math.inf
 
     # ------------------------------------------------------------------
@@ -165,6 +206,51 @@ class TraceSimulator:
         alive = {c.cell_id for c in cells}
         for stale in [cid for cid in self._cell_state if cid not in alive]:
             del self._cell_state[stale]
+        self._build_candidate_arrays()
+
+    def _build_candidate_arrays(self) -> None:
+        """Per-candidate constants, cached once per refresh.
+
+        Everything here depends only on the candidate set (cell configs,
+        3GPP table lookups, site/channel topology), not on the UE state,
+        so the per-step vectorized update touches plain arrays only.
+        """
+        cells = self._candidates
+        n = len(cells)
+        self._cand_nrb_by_id = {
+            c.cell_id: num_resource_blocks(c.bandwidth_mhz, c.scs_khz, c.band.rat) for c in cells
+        }
+        if not n:
+            self._cand_pos = np.empty((0, 2))
+            return
+        self._cand_pos = np.array([c.position for c in cells], dtype=np.float64)
+        self._cand_freq = np.array([c.band.freq_mhz for c in cells], dtype=np.float64)
+        self._cand_nrb = np.array([self._cand_nrb_by_id[c.cell_id] for c in cells], dtype=np.float64)
+        # per-RE transmit power: total power spread over all sub-carriers
+        self._cand_per_re_tx = np.array(
+            [c.tx_power_dbm for c in cells], dtype=np.float64
+        ) - 10.0 * np.log10(self._cand_nrb * 12.0)
+        self._cand_noise_mw = np.array(
+            [10 ** (noise_power_dbm(c.scs_khz / 1e3) / 10.0) for c in cells], dtype=np.float64
+        )
+        self._cand_nrb_db = 10.0 * np.log10(self._cand_nrb)
+        self._cand_indoor_pen = np.array(
+            [indoor_penetration_loss_db(c.band.freq_mhz) for c in cells], dtype=np.float64
+        )
+        sites = [self.deployment.site_of(c) for c in cells]
+        keys = [c.channel_key for c in cells]
+        # interference adjacency: same channel, different site (summed as
+        # a masked matvec so no cancellation-prone group subtraction)
+        self._interf_mask = np.array(
+            [
+                [
+                    1.0 if keys[j] == keys[i] and sites[j] != sites[i] else 0.0
+                    for j in range(n)
+                ]
+                for i in range(n)
+            ],
+            dtype=np.float64,
+        )
 
     def _shadow_db(self, cell: Cell, rho: float) -> float:
         """Correlated shadowing with shared site and band components."""
@@ -237,11 +323,117 @@ class TraceSimulator:
             pl = self._pathloss_db(other, position, indoor, serving=False)
             n_rb = num_resource_blocks(other.bandwidth_mhz, other.scs_khz, other.band.rat)
             received = rsrp_dbm(other.tx_power_dbm, pl, n_rb=n_rb)
-            # ~30% co-channel activity: planned reuse + partial load
-            total_mw += 0.3 * 10 ** (received / 10.0)
+            total_mw += _CO_CHANNEL_ACTIVITY * 10 ** (received / 10.0)
         if total_mw <= 0.0:
             return -math.inf
         return 10.0 * math.log10(total_mw)
+
+    # ------------------------------------------------------------------
+    def _advance_radio_processes(self, state, rho: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance shadowing/fading for every candidate, in loop order.
+
+        The AR(1) state updates draw from ``self._rng`` per candidate —
+        site component, band component, own component, then fading — in
+        exactly the order the scalar loop does, so both radio paths
+        consume an identical RNG stream and cached traces stay
+        reproducible across the toggle.
+        """
+        shadows = np.empty(len(self._candidates))
+        fadings = np.empty(len(self._candidates))
+        for idx, cell in enumerate(self._candidates):
+            cs = self._cell_state.setdefault(cell.cell_id, _CellRadioState())
+            if cs.fading is None:
+                cs.fading = FastFadingProcess(sigma_db=1.5)
+                cs.link = LinkAdapter(max_layers=self.ue.max_mimo_layers)
+            shadow = self._shadow_db(cell, rho)
+            if self.force_los is True:
+                shadow *= 0.5  # LOS shadowing variance is much smaller
+            cs.initialized = True
+            shadows[idx] = shadow
+            fadings[idx] = cs.fading.sample(
+                self.dt_s, state.speed_mps, cell.band.freq_mhz, self._rng
+            )
+        return shadows, fadings
+
+    def _radio_update_loop(self, state, rho: float) -> Tuple[Dict[int, float], Dict[int, float], Dict[int, float]]:
+        """Scalar per-cell radio update — the vectorized path's oracle."""
+        rsrp_map: Dict[int, float] = {}
+        sinr_map: Dict[int, float] = {}
+        rsrq_map: Dict[int, float] = {}
+        shadows, fadings = self._advance_radio_processes(state, rho)
+        for idx, cell in enumerate(self._candidates):
+            shadow = shadows[idx]
+            fading = fadings[idx]
+            pl = self._pathloss_db(cell, state.position, state.indoor)
+            n_rb_cfg = num_resource_blocks(cell.bandwidth_mhz, cell.scs_khz, cell.band.rat)
+            rsrp = rsrp_dbm(cell.tx_power_dbm, pl, shadow, fading, n_rb=n_rb_cfg)
+            # noise over one RE (one sub-carrier of scs kHz)
+            noise_re = noise_power_dbm(cell.scs_khz / 1e3)
+            interference = self._interference_dbm_per_re(cell, state.position, state.indoor)
+            signal_mw = 10 ** (rsrp / 10.0)
+            noise_mw = 10 ** (noise_re / 10.0)
+            interf_mw = 0.0 if interference == -math.inf else 10 ** (interference / 10.0)
+            sinr = 10 * math.log10(signal_mw / (noise_mw + interf_mw))
+            rssi_mw = (signal_mw + noise_mw + interf_mw) * 12 * n_rb_cfg
+            rsrq = 10 * math.log10(n_rb_cfg) + rsrp - 10 * math.log10(rssi_mw)
+            rsrp_map[cell.cell_id] = rsrp
+            sinr_map[cell.cell_id] = sinr
+            rsrq_map[cell.cell_id] = rsrq
+        return rsrp_map, sinr_map, rsrq_map
+
+    def _radio_update_vec(self, state, rho: float) -> Tuple[Dict[int, float], Dict[int, float], Dict[int, float]]:
+        """Array radio update over all candidates (one step, no per-cell math).
+
+        Pathloss, RSRP/RSRQ/SINR, and the O(C^2) co-channel interference
+        reduce to a handful of numpy expressions over the cached
+        candidate arrays; only the AR(1) process updates stay per-cell
+        (to preserve RNG draw order).  Matches :meth:`_radio_update_loop`
+        per field to ~1e-9 dB (ulp-level transcendental differences).
+        """
+        if not self._candidates:
+            return {}, {}, {}
+        shadows, fadings = self._advance_radio_processes(state, rho)
+        position = np.asarray(state.position, dtype=np.float64)
+        delta = self._cand_pos - position
+        distance = np.hypot(delta[:, 0], delta[:, 1])
+        pl_los = urban_macro_pathloss_db_array(distance, self._cand_freq, los=True)
+        pl_nlos = urban_macro_pathloss_db_array(distance, self._cand_freq, los=False)
+        if state.indoor:
+            los_weight = np.zeros_like(distance)
+        elif self.force_los is True:
+            los_weight = np.ones_like(distance)
+        elif self.force_los is False:
+            los_weight = np.zeros_like(distance)
+        else:
+            los_weight = np.exp(-distance / _LOS_BLEND_M)
+        pl = los_weight * pl_los + (1.0 - los_weight) * pl_nlos
+        # interfering links keep the distance-based LOS probability
+        # (force_los applies to serving links only)
+        if state.indoor:
+            interf_weight = np.zeros_like(distance)
+        else:
+            interf_weight = np.exp(-distance / _LOS_BLEND_M)
+        pl_interf = interf_weight * pl_los + (1.0 - interf_weight) * pl_nlos
+        if state.indoor:
+            pl = pl + self._cand_indoor_pen
+            pl_interf = pl_interf + self._cand_indoor_pen
+
+        rsrp = self._cand_per_re_tx - pl - shadows + fadings
+        received_mw = _CO_CHANNEL_ACTIVITY * 10.0 ** ((self._cand_per_re_tx - pl_interf) / 10.0)
+        interf_mw = self._interf_mask @ received_mw
+        signal_mw = 10.0 ** (rsrp / 10.0)
+        sinr = 10.0 * np.log10(signal_mw / (self._cand_noise_mw + interf_mw))
+        rssi_mw = (signal_mw + self._cand_noise_mw + interf_mw) * 12.0 * self._cand_nrb
+        rsrq = self._cand_nrb_db + rsrp - 10.0 * np.log10(rssi_mw)
+
+        rsrp_map: Dict[int, float] = {}
+        sinr_map: Dict[int, float] = {}
+        rsrq_map: Dict[int, float] = {}
+        for idx, cell in enumerate(self._candidates):
+            rsrp_map[cell.cell_id] = float(rsrp[idx])
+            sinr_map[cell.cell_id] = float(sinr[idx])
+            rsrq_map[cell.cell_id] = float(rsrq[idx])
+        return rsrp_map, sinr_map, rsrq_map
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -267,34 +459,10 @@ class TraceSimulator:
 
             rho = math.exp(-max(moved, 1e-3) / _SHADOW_DECORR_M)
             cell_by_id: Dict[int, Cell] = {c.cell_id: c for c in self._candidates}
-            rsrp_map: Dict[int, float] = {}
-            sinr_map: Dict[int, float] = {}
-            rsrq_map: Dict[int, float] = {}
-            for cell in self._candidates:
-                cs = self._cell_state.setdefault(cell.cell_id, _CellRadioState())
-                if cs.fading is None:
-                    cs.fading = FastFadingProcess(sigma_db=1.5)
-                    cs.link = LinkAdapter(max_layers=self.ue.max_mimo_layers)
-                shadow = self._shadow_db(cell, rho)
-                if self.force_los is True:
-                    shadow *= 0.5  # LOS shadowing variance is much smaller
-                cs.initialized = True
-                fading = cs.fading.sample(self.dt_s, state.speed_mps, cell.band.freq_mhz, self._rng)
-                pl = self._pathloss_db(cell, state.position, state.indoor)
-                n_rb_cfg = num_resource_blocks(cell.bandwidth_mhz, cell.scs_khz, cell.band.rat)
-                rsrp = rsrp_dbm(cell.tx_power_dbm, pl, shadow, fading, n_rb=n_rb_cfg)
-                # noise over one RE (one sub-carrier of scs kHz)
-                noise_re = noise_power_dbm(cell.scs_khz / 1e3)
-                interference = self._interference_dbm_per_re(cell, state.position, state.indoor)
-                signal_mw = 10 ** (rsrp / 10.0)
-                noise_mw = 10 ** (noise_re / 10.0)
-                interf_mw = 0.0 if interference == -math.inf else 10 ** (interference / 10.0)
-                sinr = 10 * math.log10(signal_mw / (noise_mw + interf_mw))
-                rssi_mw = (signal_mw + noise_mw + interf_mw) * 12 * n_rb_cfg
-                rsrq = 10 * math.log10(n_rb_cfg) + rsrp - 10 * math.log10(rssi_mw)
-                rsrp_map[cell.cell_id] = rsrp
-                sinr_map[cell.cell_id] = sinr
-                rsrq_map[cell.cell_id] = rsrq
+            if _VECTORIZED_RADIO:
+                rsrp_map, sinr_map, rsrq_map = self._radio_update_vec(state, rho)
+            else:
+                rsrp_map, sinr_map, rsrq_map = self._radio_update_loop(state, rho)
 
             ca_state = self.ca.step(self.dt_s, rsrp_map, cell_by_id)
 
@@ -311,7 +479,9 @@ class TraceSimulator:
                     base_layers = 2
                 layer_cap = self.ca.layer_cap(cell, default_cap=base_layers)
                 link = cs.link.step(effective_sinr, self._rng, max_layers=layer_cap)
-                n_rb_cfg = num_resource_blocks(cell.bandwidth_mhz, cell.scs_khz, cell.band.rat)
+                n_rb_cfg = self._cand_nrb_by_id.get(cc_id)
+                if n_rb_cfg is None:  # active CC no longer in the candidate set
+                    n_rb_cfg = num_resource_blocks(cell.bandwidth_mhz, cell.scs_khz, cell.band.rat)
                 rb_fraction = self.scheduler.rb_fraction(
                     cc_id,
                     self.dt_s,
