@@ -18,9 +18,12 @@ Subpackages
     QoE use cases: ViVo volumetric streaming, MPC video ABR.
 ``repro.analysis``
     Measurement analysis: distributions, correlations, efficiency.
+``repro.obs``
+    Observability: metrics registry, span tracing, run manifests
+    (``REPRO_OBS`` env knob; off by default).
 """
 
-from . import analysis, apps, core, data, forecast, nn, ran, trees
+from . import analysis, apps, core, data, forecast, nn, obs, ran, trees
 
 __version__ = "1.0.0"
 
@@ -31,6 +34,7 @@ __all__ = [
     "data",
     "forecast",
     "nn",
+    "obs",
     "ran",
     "trees",
     "__version__",

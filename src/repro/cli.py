@@ -9,21 +9,50 @@ Usage (also installed as the ``repro5g`` console script):
         --timescale long --epochs 40 --model-out prism.npz
     python -m repro.cli evaluate --operator OpZ --mobility driving \
         --timescale long --predictors Prophet LSTM Prism5G
+    python -m repro.cli train --obs trace --obs-dir .repro-obs ...
+    python -m repro.cli obs report
+    python -m repro.cli obs trace --chrome trace.json
+
+The ``--obs`` flag (or the ``REPRO_OBS`` env var) turns on the
+observability layer: ``metrics`` records counters/gauges/histograms and
+a run manifest, ``trace`` additionally spills a span timeline that
+``obs trace --chrome`` converts for ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from . import obs
 from .analysis import format_table
 from .core import DeepConfig, evaluate_predictors, make_default_predictors
 from .core.predictors import PREDICTOR_REGISTRY, Prism5GPredictor
 from .data import SubDatasetSpec, build_subdataset, random_split
 from .nn.serialization import save_state
 from .ran import CampaignConfig, DualConnectivitySimulator, TraceSimulator, run_campaign
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs",
+        default=None,
+        choices=[obs.MODE_OFF, obs.MODE_METRICS, obs.MODE_TRACE],
+        help="observability mode (overrides REPRO_OBS)",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        help="directory for span/metric/manifest files (overrides REPRO_OBS_DIR)",
+    )
+
+
+def _configure_obs(args: argparse.Namespace) -> None:
+    if getattr(args, "obs", None) is not None or getattr(args, "obs_dir", None) is not None:
+        obs.configure(mode=args.obs, directory=args.obs_dir)
 
 
 def _add_common_sim_args(parser: argparse.ArgumentParser) -> None:
@@ -35,6 +64,7 @@ def _add_common_sim_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    _configure_obs(args)
     if args.nsa:
         sim = DualConnectivitySimulator(
             operator=args.operator, scenario=args.scenario, mobility=args.mobility,
@@ -55,10 +85,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.out:
         trace.to_jsonl(args.out)
         print(f"wrote {args.out}")
+    obs.write_manifest(
+        kind="simulate",
+        config=dict(
+            operator=args.operator, scenario=args.scenario, mobility=args.mobility,
+            modem=args.modem, rat=getattr(args, "rat", "5G"), nsa=args.nsa,
+            dt_s=args.dt, duration_s=args.duration,
+        ),
+        seed=args.seed,
+        extra={"samples": len(trace), "mean_tput_mbps": float(series.mean())},
+    )
+    obs.flush()
     return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    _configure_obs(args)
     config = CampaignConfig(
         operators=tuple(args.operators),
         scenarios=tuple(args.scenarios),
@@ -93,6 +135,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for i, trace in enumerate(result.traces):
             trace.to_jsonl(out_dir / f"trace_{trace.operator}_{trace.rat}_{trace.scenario}_{i:03d}.jsonl")
         print(f"wrote {len(result.traces)} traces to {out_dir}")
+    obs.flush()
     return 0
 
 
@@ -101,6 +144,7 @@ def _spec_from_args(args: argparse.Namespace) -> SubDatasetSpec:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    _configure_obs(args)
     spec = _spec_from_args(args)
     print(f"building dataset {spec.name} ({args.traces} traces x {args.samples} samples)")
     dataset = build_subdataset(spec, n_traces=args.traces, samples_per_trace=args.samples, seed=args.seed)
@@ -113,10 +157,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.model_out:
         save_state(predictor.model, args.model_out)
         print(f"wrote {args.model_out}")
+    obs.flush()
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _configure_obs(args)
     unknown = [p for p in args.predictors if p not in PREDICTOR_REGISTRY]
     if unknown:
         print(f"unknown predictors: {unknown}; choose from {sorted(PREDICTOR_REGISTRY)}", file=sys.stderr)
@@ -130,6 +176,56 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     print(format_table(["Predictor", "RMSE"], rows, title=f"=== {spec.name} ==="))
     if "Prism5G" in result.rmse and len(result.rmse) > 1:
         print(f"Prism5G improvement over best baseline: {result.improvement_over_best_baseline():+.1f}%")
+    obs.flush()
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    directory = Path(args.dir) if args.dir else obs.obs_dir()
+    manifest = obs.latest_manifest(directory)
+    if manifest is None:
+        print(f"no run manifest under {directory} (run with --obs metrics|trace first)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    print(f"=== {manifest.get('kind', '?')} run @ {manifest.get('created_at', '?')} ===")
+    for key in ("mode", "git_sha", "seed", "config_hash", "pid"):
+        print(f"{key:>12}: {manifest.get(key)}")
+    kernels = manifest.get("kernel_paths") or {}
+    print(f"{'kernels':>12}: " + ", ".join(f"{k}={'on' if v else 'off'}" for k, v in sorted(kernels.items())))
+    metrics = manifest.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        rows = [[name, f"{value:g}"] for name, value in sorted(counters.items())]
+        print(format_table(["Counter", "Value"], rows, title="counters"))
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        rows = [[name, f"{value:.4g}"] for name, value in sorted(gauges.items())]
+        print(format_table(["Gauge", "Value"], rows, title="gauges"))
+    for name, hist in sorted((metrics.get("histograms") or {}).items()):
+        print(
+            f"{name}: n={hist.get('count', 0)} sum={hist.get('sum', 0.0):.3g} "
+            f"min={hist.get('min')} max={hist.get('max')}"
+        )
+    history = manifest.get("history")
+    if history:
+        print(f"{'history':>12}: {json.dumps(history, default=str)}")
+    extra = manifest.get("extra")
+    if extra:
+        print(f"{'extra':>12}: {json.dumps(extra, default=str)}")
+    return 0
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    directory = Path(args.dir) if args.dir else obs.obs_dir()
+    spans = obs.read_spans(directory)
+    if not spans:
+        print(f"no spans under {directory} (run with --obs trace first)", file=sys.stderr)
+        return 1
+    out = obs.write_chrome_trace(args.chrome, directory)
+    pids = {span.get("pid") for span in spans}
+    print(f"wrote {out} ({len(spans)} spans from {len(pids)} process(es))")
     return 0
 
 
@@ -139,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="synthesize one CA trace")
     _add_common_sim_args(sim)
+    _add_obs_args(sim)
     sim.add_argument("--rat", default="5G", choices=["4G", "5G"])
     sim.add_argument("--nsa", action="store_true", help="EN-DC dual connectivity")
     sim.add_argument("--dt", type=float, default=1.0)
@@ -155,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--dt", type=float, default=1.0)
     camp.add_argument("--seed", type=int, default=0)
     camp.add_argument("--out-dir", default=None, help="write traces as JSONL here")
+    _add_obs_args(camp)
     camp.set_defaults(func=_cmd_campaign)
 
     def _add_ml_args(p: argparse.ArgumentParser) -> None:
@@ -166,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--hidden", type=int, default=24)
         p.add_argument("--epochs", type=int, default=40)
         p.add_argument("--seed", type=int, default=0)
+        _add_obs_args(p)
 
     train = sub.add_parser("train", help="train Prism5G on a sub-dataset")
     _add_ml_args(train)
@@ -177,6 +276,17 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--predictors", nargs="+", default=["Prophet", "LSTM", "Prism5G"])
     evaluate.add_argument("--split", default="random", choices=["random", "trace"])
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    obs_cmd = sub.add_parser("obs", help="inspect observability output")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser("report", help="pretty-print the latest run manifest")
+    report.add_argument("--dir", default=None, help="obs directory (default: REPRO_OBS_DIR or .repro-obs)")
+    report.add_argument("--json", action="store_true", help="raw JSON instead of a table")
+    report.set_defaults(func=_cmd_obs_report)
+    trace_cmd = obs_sub.add_parser("trace", help="convert span JSONL to Chrome trace format")
+    trace_cmd.add_argument("--chrome", required=True, help="output path for the chrome://tracing JSON")
+    trace_cmd.add_argument("--dir", default=None, help="obs directory (default: REPRO_OBS_DIR or .repro-obs)")
+    trace_cmd.set_defaults(func=_cmd_obs_trace)
     return parser
 
 

@@ -11,6 +11,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..data.datasets import MLDataset
 from ..data.splits import random_split, trace_level_split
 from ..data.windowing import WindowedDataset
@@ -77,12 +78,36 @@ def evaluate_predictors(
     splitter = random_split if split == "random" else trace_level_split
     train, val, test = splitter(dataset.windows, 0.5, 0.2, 0.3, seed=seed)
     result = EvaluationResult(dataset_name=dataset_name or (dataset.spec.name if dataset.spec else ""))
-    for name, predictor in predictors.items():
-        predictor.fit(train, val)
-        pred = predictor.predict(test)
-        result.rmse[name] = float(np.sqrt(np.mean((pred - test.y) ** 2)))
-        if keep_predictions:
-            result.predictions[name] = pred
+    with obs.span(
+        "evaluate.run",
+        dataset=result.dataset_name,
+        split=split,
+        predictors=sorted(predictors),
+    ):
+        for name, predictor in predictors.items():
+            with obs.span("evaluate.fit", predictor=name):
+                predictor.fit(train, val)
+            with obs.span("evaluate.predict", predictor=name, samples=len(test)):
+                pred = predictor.predict(test)
+            result.rmse[name] = float(np.sqrt(np.mean((pred - test.y) ** 2)))
+            if obs.metrics_enabled():
+                obs.counter("evaluate.predictors")
+                obs.gauge(f"evaluate.rmse.{name}", result.rmse[name])
+            if keep_predictions:
+                result.predictions[name] = pred
+    obs.write_manifest(
+        kind="evaluation",
+        config={
+            "dataset": result.dataset_name,
+            "split": split,
+            "predictors": sorted(predictors),
+            "n_train": len(train),
+            "n_val": len(val),
+            "n_test": len(test),
+        },
+        seed=seed,
+        extra={"rmse": result.rmse},
+    )
     return result
 
 

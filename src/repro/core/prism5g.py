@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..nn.modules import (
     Embedding,
     Linear,
@@ -352,6 +353,8 @@ class Prism5G(Module):
         or :meth:`predict_all` for both in one pass.
         """
         data = packed.data if isinstance(packed, Tensor) else np.asarray(packed)
+        if obs.metrics_enabled():
+            obs.counter("kernel.prism.folded" if _BATCHED_CC else "kernel.prism.loop")
         if _BATCHED_CC:
             return self._forward_folded(data)
         per_cc = self._per_cc_predictions(packed)

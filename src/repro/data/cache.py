@@ -31,6 +31,7 @@ import shutil
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Union
 
+from .. import obs
 from ..ran.traces import TraceSet
 from .artifacts import MANIFEST_NAME, load_trace_set, save_trace_set
 
@@ -79,12 +80,41 @@ class TraceCache:
     def contains(self, config: Mapping) -> bool:
         return (self.path_for(config) / MANIFEST_NAME).exists()
 
+    def _entry_bytes(self, entry: Path) -> int:
+        try:
+            return sum(p.stat().st_size for p in entry.iterdir() if p.is_file())
+        except OSError:
+            return 0
+
     def get(self, config: Mapping) -> Optional[TraceSet]:
-        """Load the trace set for ``config`` or return None on a miss."""
+        """Load the trace set for ``config`` or return None on a miss.
+
+        A corrupt or truncated entry (e.g. a run killed mid-write, disk
+        trouble) is treated as a miss: it is reported as a structured
+        ``cache.corrupt`` warning and deleted so the next run
+        regenerates it instead of failing forever.
+        """
         entry = self.path_for(config)
         if not (entry / MANIFEST_NAME).exists():
+            if obs.metrics_enabled():
+                obs.counter("cache.miss")
             return None
-        return load_trace_set(entry)
+        try:
+            with obs.span("cache.get", key=entry.name):
+                traces = load_trace_set(entry)
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            obs.log_warning(
+                "cache.corrupt",
+                key=entry.name,
+                directory=str(self.directory),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        if obs.metrics_enabled():
+            obs.counter("cache.hit")
+            obs.counter("cache.bytes_read", self._entry_bytes(entry))
+        return traces
 
     def put(self, config: Mapping, traces: TraceSet) -> Path:
         """Store ``traces`` under the config hash (atomic via rename)."""
@@ -94,14 +124,18 @@ class TraceCache:
         staging = entry.with_name(f"{entry.name}.tmp-{os.getpid()}")
         if staging.exists():
             shutil.rmtree(staging)
-        save_trace_set(traces, staging, name=entry.name)
-        (staging / CONFIG_NAME).write_text(json.dumps(dict(config), indent=2, default=str))
-        try:
-            staging.replace(entry)
-        except OSError:
-            # lost a race with a concurrent writer; their entry is
-            # identical by construction
-            shutil.rmtree(staging, ignore_errors=True)
+        with obs.span("cache.put", key=entry.name):
+            save_trace_set(traces, staging, name=entry.name)
+            (staging / CONFIG_NAME).write_text(json.dumps(dict(config), indent=2, default=str))
+            try:
+                staging.replace(entry)
+            except OSError:
+                # lost a race with a concurrent writer; their entry is
+                # identical by construction
+                shutil.rmtree(staging, ignore_errors=True)
+        if obs.metrics_enabled():
+            obs.counter("cache.store")
+            obs.counter("cache.bytes_written", self._entry_bytes(entry))
         return entry
 
     def get_or_create(self, config: Mapping, factory: Callable[[], TraceSet]) -> TraceSet:

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from .tensor import Tensor, affine, concat, gru_cell, gru_seq, lstm_cell, lstm_seq, stack
 
 #: global switch for the fused sequence kernels.  On by default; the
@@ -299,6 +300,8 @@ class LSTM(Module):
                 out, h_t, c_t = lstm_seq(out, h0, c0, cell.weight_ih, cell.weight_hh, cell.bias)
                 state[layer] = (h_t, c_t)
             return out, state
+        if obs.metrics_enabled():
+            obs.counter("kernel.lstm_loop")
         outputs: List[Tensor] = []
         for t in range(time):
             inp = x[:, t, :]
@@ -384,6 +387,8 @@ class GRU(Module):
                 )
                 state[layer] = h_t
             return out, state
+        if obs.metrics_enabled():
+            obs.counter("kernel.gru_loop")
         outputs: List[Tensor] = []
         for t in range(time):
             inp = x[:, t, :]

@@ -17,6 +17,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
+
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
 
 #: global autograd switch — see :class:`no_grad` / :func:`is_grad_enabled`.
@@ -754,6 +756,8 @@ def lstm_seq(
 
     Returns ``(outputs, h_T, c_T)`` with outputs ``(B, T, H)``.
     """
+    if obs.metrics_enabled():
+        obs.counter("kernel.lstm_seq")
     x, h0, c0 = _as_tensor(x), _as_tensor(h0), _as_tensor(c0)
     batch, time, _ = x.data.shape
     hidden = weight_hh.data.shape[0]
@@ -908,6 +912,8 @@ def gru_seq(
     graph node per layer, hand-written BPTT.  Returns
     ``(outputs, h_T)``.
     """
+    if obs.metrics_enabled():
+        obs.counter("kernel.gru_seq")
     x, h0 = _as_tensor(x), _as_tensor(h0)
     batch, time, _ = x.data.shape
     hidden = weight_hh.data.shape[0]
@@ -1030,6 +1036,8 @@ def lstm_decoder_seq(
         raise ValueError("horizon must be >= 1")
     if out_chunks < 1:
         raise ValueError("out_chunks must be >= 1")
+    if obs.metrics_enabled():
+        obs.counter("kernel.lstm_decoder_seq")
     y0, h0, c0 = _as_tensor(y0), _as_tensor(h0), _as_tensor(c0)
     batch = h0.data.shape[0]
     hidden = weight_hh.data.shape[0]

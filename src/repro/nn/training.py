@@ -11,6 +11,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from .losses import mse_loss
 from .modules import Module
 from .optim import Adam
@@ -68,6 +69,7 @@ class Trainer:
         self.loss_fn = loss_fn
         self.forward_fn = forward_fn or (lambda model, x: model(Tensor(x)))
         self.rng = np.random.default_rng(seed)
+        self.seed = seed
         self.verbose = verbose
 
     def _epoch(self, x: np.ndarray, y: np.ndarray, train: bool) -> float:
@@ -108,33 +110,74 @@ class Trainer:
         best_state: Optional[Dict[str, np.ndarray]] = None
         params = dict(self.model.named_parameters())
         stale = 0
-        for epoch in range(self.max_epochs):
-            train_loss = self._epoch(x_train, y_train, train=True)
-            history.train_loss.append(train_loss)
-            if x_val is not None and len(x_val):
-                val_loss = self._epoch(x_val, y_val, train=False)
-            else:
-                val_loss = train_loss
-            history.val_loss.append(val_loss)
-            if val_loss < history.best_val_loss - 1e-9:
-                history.best_val_loss = val_loss
-                history.best_epoch = epoch
-                if best_state is None:
-                    best_state = {name: p.data.copy() for name, p in params.items()}
+        instrumented = obs.metrics_enabled()
+        with obs.span(
+            "train.fit",
+            model=type(self.model).__name__,
+            samples=len(x_train),
+            batch_size=self.batch_size,
+            max_epochs=self.max_epochs,
+        ):
+            for epoch in range(self.max_epochs):
+                # force=instrumented: real stopwatch for the epoch-duration
+                # histogram even in metrics mode (recorded to the timeline
+                # only when tracing); null span when obs is off
+                with obs.span("train.epoch", force=instrumented, epoch=epoch) as sp:
+                    train_loss = self._epoch(x_train, y_train, train=True)
+                    if x_val is not None and len(x_val):
+                        val_loss = self._epoch(x_val, y_val, train=False)
+                    else:
+                        val_loss = train_loss
+                    sp.set(train_loss=train_loss, val_loss=val_loss)
+                history.train_loss.append(train_loss)
+                history.val_loss.append(val_loss)
+                if instrumented:
+                    obs.counter("train.epochs")
+                    obs.gauge("train.loss", train_loss)
+                    obs.gauge("train.val_loss", val_loss)
+                    obs.histogram("train.epoch_ms", sp.duration_s * 1e3)
+                if val_loss < history.best_val_loss - 1e-9:
+                    history.best_val_loss = val_loss
+                    history.best_epoch = epoch
+                    if best_state is None:
+                        best_state = {name: p.data.copy() for name, p in params.items()}
+                    else:
+                        for name, p in params.items():
+                            np.copyto(best_state[name], p.data)
+                    stale = 0
                 else:
-                    for name, p in params.items():
-                        np.copyto(best_state[name], p.data)
-                stale = 0
-            else:
-                stale += 1
-            if self.verbose:
-                print(f"epoch {epoch:3d} train {train_loss:.5f} val {val_loss:.5f}")
-            if stale >= self.patience:
-                break
+                    stale += 1
+                if self.verbose:
+                    print(f"epoch {epoch:3d} train {train_loss:.5f} val {val_loss:.5f}")
+                if stale >= self.patience:
+                    break
         if best_state is not None:
             for name, p in params.items():
                 np.copyto(p.data, best_state[name])
         self.model.eval()
+        if instrumented:
+            obs.gauge("train.best_val_loss", history.best_val_loss)
+            obs.write_manifest(
+                kind="train",
+                config={
+                    "model": type(self.model).__name__,
+                    "n_parameters": int(sum(p.data.size for p in self.model.parameters())),
+                    "lr": self.optimizer.lr,
+                    "batch_size": self.batch_size,
+                    "max_epochs": self.max_epochs,
+                    "patience": self.patience,
+                    "n_train": len(x_train),
+                    "n_val": len(x_val) if x_val is not None else 0,
+                },
+                seed=self.seed,
+                history={
+                    "train_loss": history.train_loss,
+                    "val_loss": history.val_loss,
+                    "best_epoch": history.best_epoch,
+                    "best_val_loss": history.best_val_loss,
+                    "epochs_run": history.epochs_run,
+                },
+            )
         return history
 
     def predict(

@@ -1,0 +1,341 @@
+"""repro.obs — metrics, span tracing, and run manifests.
+
+One process-local observability layer shared by every subsystem
+(simulator, cache, parallel map, trainer, kernels, evaluation):
+
+* **Metrics** — ``obs.counter("cache.hit")``, ``obs.gauge(...)``,
+  ``obs.histogram("train.epoch_ms", 12.5)``; snapshot/reset/JSON via
+  the :class:`~repro.obs.metrics.MetricsRegistry`.
+* **Spans** — ``with obs.span("simulate.run", cells=n):`` produces
+  nested wall-time spans (pid/tid tagged) that spill to per-process
+  JSONL files and export to Chrome ``chrome://tracing`` format;
+  :mod:`repro.parallel` workers merge into the parent timeline.
+* **Run manifests** — ``obs.write_manifest(kind="train", ...)`` records
+  config hash, kernel-path toggles, seed, git SHA, the merged metric
+  snapshot and per-epoch history at the end of a run.
+
+Modes, selected by the ``REPRO_OBS`` env var or :func:`configure`:
+
+``off``
+    The default.  Every entry point returns immediately (spans hand
+    back one shared null object; nothing is allocated or recorded) —
+    hot loops additionally guard with :func:`metrics_enabled` /
+    :func:`trace_enabled` so the disabled path is a near-no-op.
+``metrics``
+    Counters/gauges/histograms and run manifests, no span spill files.
+``trace``
+    Everything: metrics plus spans spilled under the observability
+    directory (``REPRO_OBS_DIR``, default ``.repro-obs``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from .manifest import (
+    LATEST_NAME,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_hash,
+    git_sha,
+    kernel_paths,
+    latest_manifest,
+    write_manifest_file,
+)
+from .metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from .tracing import NULL_SPAN, Span, SpanTracer, chrome_trace as _spans_to_chrome, read_spans as _read_span_dir
+
+OBS_ENV = "REPRO_OBS"
+OBS_DIR_ENV = "REPRO_OBS_DIR"
+
+MODE_OFF = "off"
+MODE_METRICS = "metrics"
+MODE_TRACE = "trace"
+_MODES = (MODE_OFF, MODE_METRICS, MODE_TRACE)
+
+_LOG = logging.getLogger("repro.obs")
+
+_MODE = MODE_OFF
+_DIR: Optional[Path] = None
+_REGISTRY = MetricsRegistry()
+_TRACER = SpanTracer()
+
+__all__ = [
+    "OBS_ENV",
+    "OBS_DIR_ENV",
+    "MODE_OFF",
+    "MODE_METRICS",
+    "MODE_TRACE",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "NULL_SPAN",
+    "MANIFEST_SCHEMA",
+    "configure",
+    "mode",
+    "obs_dir",
+    "enabled",
+    "metrics_enabled",
+    "trace_enabled",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "flush",
+    "reset",
+    "snapshot",
+    "merged_snapshot",
+    "log_warning",
+    "read_spans",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_manifest",
+    "latest_manifest",
+    "build_manifest",
+    "config_hash",
+    "git_sha",
+    "kernel_paths",
+    "child_after_fork",
+]
+
+
+# ---------------------------------------------------------------------------
+# configuration
+
+
+def _mode_from_env() -> str:
+    raw = (os.environ.get(OBS_ENV) or "").strip().lower()
+    if raw in ("", "0", "off", "false", "no", "none"):
+        return MODE_OFF
+    if raw in ("1", "on", "metrics", "true", "yes"):
+        return MODE_METRICS
+    if raw in ("2", "trace", "all", "full"):
+        return MODE_TRACE
+    return MODE_OFF
+
+
+def configure(mode: Optional[str] = None, directory: Union[str, Path, None] = None) -> str:
+    """Select the observability mode and spill directory.
+
+    ``mode`` / ``directory`` default to the ``REPRO_OBS`` /
+    ``REPRO_OBS_DIR`` environment variables (``off`` and ``.repro-obs``
+    when unset).  Returns the resolved mode.  Safe to call repeatedly;
+    the registry and span buffers are kept (use :func:`reset` to clear).
+    """
+    global _MODE, _DIR
+    resolved = (mode or _mode_from_env()).strip().lower()
+    if resolved not in _MODES:
+        raise ValueError(f"obs mode must be one of {_MODES}, got {resolved!r}")
+    if directory is None:
+        directory = os.environ.get(OBS_DIR_ENV) or ".repro-obs"
+    _MODE = resolved
+    _DIR = Path(directory)
+    _TRACER.directory = _DIR if resolved == MODE_TRACE else None
+    return _MODE
+
+
+def mode() -> str:
+    return _MODE
+
+
+def obs_dir() -> Path:
+    """The observability directory (spans, worker metrics, manifests)."""
+    return _DIR if _DIR is not None else Path(os.environ.get(OBS_DIR_ENV) or ".repro-obs")
+
+
+def enabled() -> bool:
+    """True in ``metrics`` or ``trace`` mode."""
+    return _MODE != MODE_OFF
+
+
+def metrics_enabled() -> bool:
+    return _MODE != MODE_OFF
+
+
+def trace_enabled() -> bool:
+    return _MODE == MODE_TRACE
+
+
+# ---------------------------------------------------------------------------
+# metrics entry points (early-return when disabled)
+
+
+def counter(name: str, value: float = 1.0) -> None:
+    if _MODE == MODE_OFF:
+        return
+    _REGISTRY.counter(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    if _MODE == MODE_OFF:
+        return
+    _REGISTRY.gauge(name, value)
+
+
+def histogram(name: str, value: float, buckets: Optional[Sequence[float]] = None) -> None:
+    if _MODE == MODE_OFF:
+        return
+    _REGISTRY.histogram(name, value, buckets)
+
+
+def snapshot() -> Dict:
+    """This process's metrics (counters/gauges/histograms)."""
+    return _REGISTRY.snapshot()
+
+
+def merged_snapshot() -> Dict:
+    """Local metrics merged with worker spill files (``metrics-*.json``).
+
+    Counters and histograms sum across processes; gauges stay local
+    (a point-in-time value from a dead worker is not meaningful).
+    """
+    merged = MetricsRegistry()
+    merged.merge_snapshot(_REGISTRY.snapshot())
+    snap = merged.snapshot()
+    snap["gauges"] = _REGISTRY.snapshot()["gauges"]
+    directory = obs_dir()
+    if directory.exists():
+        own = f"metrics-{os.getpid()}.json"
+        for path in sorted(directory.glob("metrics-*.json")):
+            if path.name == own:
+                continue
+            try:
+                worker = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(worker, dict):
+                merged.merge_snapshot(worker)
+        snap_all = merged.snapshot()
+        snap_all["gauges"] = snap["gauges"]
+        return snap_all
+    return snap
+
+
+def reset() -> None:
+    """Clear metrics and buffered spans (spill files are left on disk)."""
+    _REGISTRY.reset()
+    _TRACER.reset()
+
+
+def log_warning(event: str, **fields) -> None:
+    """Structured warning: logged via :mod:`logging` and counted.
+
+    Always logs (warnings should never be silently dropped); the
+    ``<event>`` counter increments only when metrics are enabled.
+    """
+    _LOG.warning("%s %s", event, json.dumps(fields, sort_keys=True, default=str))
+    if _MODE != MODE_OFF:
+        _REGISTRY.counter(event)
+
+
+# ---------------------------------------------------------------------------
+# spans
+
+
+def span(name: str, force: bool = False, **attrs) -> Union[Span, "tracing._NullSpan"]:
+    """Context manager timing a named region.
+
+    Disabled path: returns the shared :data:`NULL_SPAN` singleton (no
+    allocation, no clock reads).  ``force=True`` returns a real
+    stopwatch span even when tracing is off — it measures
+    ``duration_s`` but is only recorded to the timeline in ``trace``
+    mode (used by the perf bench so wall-clock numbers and the trace
+    come from one source).
+    """
+    if _MODE == MODE_TRACE:
+        return _TRACER.span(name, attrs)
+    if force:
+        return _TRACER.span(name, attrs, record=False)
+    return NULL_SPAN
+
+
+def flush() -> None:
+    """Spill buffered spans and (in trace mode) this process's metrics.
+
+    Workers call this after each item so their data survives pool
+    teardown (``Pool.__exit__`` terminates workers without ``atexit``).
+    """
+    if _MODE != MODE_TRACE:
+        return
+    _TRACER.flush()
+    directory = obs_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"metrics-{os.getpid()}.json"
+        path.write_text(_REGISTRY.to_json(), encoding="utf-8")
+    except OSError:  # pragma: no cover - read-only dirs: spans still flushed
+        pass
+
+
+def child_after_fork() -> None:
+    """Reset inherited buffers in a freshly forked worker.
+
+    Passed as the pool initializer by :func:`repro.parallel.parallel_map`
+    so workers start with an empty span stack/buffer and zeroed metrics
+    (otherwise the parent's open spans and counts, copied by ``fork``,
+    would be double-reported through the worker spill files).
+    """
+    _TRACER.reset()
+    _REGISTRY.reset()
+
+
+# ---------------------------------------------------------------------------
+# exports
+
+
+def read_spans(directory: Union[str, Path, None] = None) -> list:
+    """All spans spilled under ``directory`` (default: the obs dir)."""
+    return _read_span_dir(Path(directory) if directory is not None else obs_dir())
+
+
+def chrome_trace(directory: Union[str, Path, None] = None) -> Dict:
+    """Chrome trace-event dict built from the spilled spans."""
+    return _spans_to_chrome(read_spans(directory))
+
+
+def write_chrome_trace(out_path: Union[str, Path], directory: Union[str, Path, None] = None) -> Path:
+    """Convert spilled spans to a Chrome-loadable trace JSON file."""
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(chrome_trace(directory)) + "\n", encoding="utf-8")
+    return out_path
+
+
+def write_manifest(
+    kind: str,
+    config: Optional[Mapping] = None,
+    seed: Optional[int] = None,
+    history: Optional[Mapping] = None,
+    extra: Optional[Mapping] = None,
+    directory: Union[str, Path, None] = None,
+) -> Optional[Path]:
+    """Write a run manifest (and refresh ``latest.json``); returns its path.
+
+    No-op returning ``None`` when observability is off — callers can
+    invoke it unconditionally at the end of a run.  The metrics field
+    is the *merged* snapshot (parent + spilled worker metrics).
+    """
+    if _MODE == MODE_OFF:
+        return None
+    flush()
+    manifest = build_manifest(
+        kind,
+        config=config,
+        seed=seed,
+        history=history,
+        metrics=merged_snapshot(),
+        extra=extra,
+        mode=_MODE,
+    )
+    return write_manifest_file(manifest, Path(directory) if directory is not None else obs_dir())
+
+
+# pick up REPRO_OBS / REPRO_OBS_DIR at import so plain library use (and
+# spawn-started workers) honour the env knob without an explicit call.
+configure()

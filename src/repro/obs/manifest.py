@@ -1,0 +1,164 @@
+"""Run manifests: the provenance record written at the end of a run.
+
+A manifest captures everything needed to interpret (and re-run) a
+training / campaign / evaluation run: the configuration and its content
+hash, the kernel-path toggles in effect (fused kernels, carrier
+folding, vectorized radio), the seed, the git SHA of the working tree,
+the merged metrics snapshot, and per-epoch history when the run trains
+a model.  Manifests are plain JSON files in the observability
+directory; ``latest.json`` always mirrors the most recent one so
+``repro5g obs report`` has a stable entry point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional
+
+MANIFEST_SCHEMA = "repro-obs-manifest-v1"
+LATEST_NAME = "latest.json"
+
+_manifest_seq = itertools.count()
+_git_sha_cache: Dict[str, Optional[str]] = {}
+
+
+def config_hash(config: Optional[Mapping]) -> Optional[str]:
+    """Stable content hash of a run configuration (sorted canonical JSON)."""
+    if config is None:
+        return None
+    canonical = json.dumps(dict(config), sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def git_sha(start: Optional[Path] = None) -> Optional[str]:
+    """Best-effort commit SHA of the enclosing git checkout.
+
+    Reads ``.git/HEAD`` (and ``packed-refs``) directly instead of
+    shelling out, walking up from ``start`` (default: cwd).  Returns
+    ``None`` outside a checkout.  Cached per start path — the SHA is
+    constant for the life of a run, and manifests are written at the
+    end of hot paths (``Trainer.fit``) where repeated ``.git`` walks
+    would show up in the obs-overhead gate.
+    """
+    try:
+        path = Path(start or os.getcwd()).resolve()
+        cache_key = str(path)
+        if cache_key in _git_sha_cache:
+            return _git_sha_cache[cache_key]
+        _git_sha_cache[cache_key] = _read_git_sha(path)
+        return _git_sha_cache[cache_key]
+    except OSError:
+        return None
+
+
+def _read_git_sha(path: Path) -> Optional[str]:
+    try:
+        for candidate in (path, *path.parents):
+            git = candidate / ".git"
+            if not git.is_dir():
+                continue
+            head = (git / "HEAD").read_text(encoding="utf-8").strip()
+            if not head.startswith("ref:"):
+                return head or None
+            ref = head.split(None, 1)[1]
+            ref_path = git / ref
+            if ref_path.exists():
+                return ref_path.read_text(encoding="utf-8").strip() or None
+            packed = git / "packed-refs"
+            if packed.exists():
+                for line in packed.read_text(encoding="utf-8").splitlines():
+                    parts = line.split()
+                    if len(parts) == 2 and parts[1] == ref:
+                        return parts[0]
+            return None
+    except OSError:
+        pass
+    return None
+
+
+def kernel_paths() -> Dict[str, bool]:
+    """The hot-path dispatch toggles currently in effect.
+
+    Imported lazily so :mod:`repro.obs` stays import-cycle-free (the nn
+    and ran packages themselves import obs for instrumentation).
+    """
+    paths: Dict[str, bool] = {}
+    try:
+        from ..nn.modules import fused_kernels_enabled
+
+        paths["fused_kernels"] = fused_kernels_enabled()
+    except ImportError:  # pragma: no cover - partial installs
+        pass
+    try:
+        from ..core.prism5g import batched_cc_enabled
+
+        paths["batched_cc"] = batched_cc_enabled()
+    except ImportError:  # pragma: no cover
+        pass
+    try:
+        from ..ran.simulator import vectorized_radio_enabled
+
+        paths["vectorized_radio"] = vectorized_radio_enabled()
+    except ImportError:  # pragma: no cover
+        pass
+    return paths
+
+
+def build_manifest(
+    kind: str,
+    config: Optional[Mapping] = None,
+    seed: Optional[int] = None,
+    history: Optional[Mapping] = None,
+    metrics: Optional[Mapping] = None,
+    extra: Optional[Mapping] = None,
+    mode: Optional[str] = None,
+) -> Dict:
+    """Assemble the manifest dict (no I/O; see ``obs.write_manifest``)."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "kind": kind,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "pid": os.getpid(),
+        "mode": mode,
+        "git_sha": git_sha(),
+        "seed": seed,
+        "config": dict(config) if config is not None else None,
+        "config_hash": config_hash(config),
+        "kernel_paths": kernel_paths(),
+        "metrics": dict(metrics) if metrics is not None else None,
+        "history": dict(history) if history is not None else None,
+        "extra": dict(extra) if extra is not None else None,
+    }
+
+
+def write_manifest_file(manifest: Mapping, directory: Path) -> Path:
+    """Write a manifest JSON plus the ``latest.json`` mirror; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    name = f"manifest-{manifest.get('kind', 'run')}-{stamp}-{os.getpid()}-{next(_manifest_seq)}.json"
+    path = directory / name
+    payload = json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n"
+    path.write_text(payload, encoding="utf-8")
+    (directory / LATEST_NAME).write_text(payload, encoding="utf-8")
+    return path
+
+
+def latest_manifest(directory: Path) -> Optional[Dict]:
+    """The most recent manifest in a directory, or ``None``."""
+    directory = Path(directory)
+    latest = directory / LATEST_NAME
+    candidates = [latest] if latest.exists() else sorted(directory.glob("manifest-*.json"), reverse=True)
+    for path in candidates:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(data, dict):
+            return data
+    return None

@@ -1,0 +1,220 @@
+"""Wall-time span tracing with multiprocessing-aware spill files.
+
+A span is one timed region (``with obs.span("train.epoch", epoch=3):``)
+tagged with pid/tid so spans from :mod:`repro.parallel` workers merge
+into the parent's timeline.  Completed spans buffer in memory and are
+appended to ``spans-<pid>.jsonl`` in the configured directory whenever
+the stack unwinds to depth zero (or on an explicit flush) — workers in
+a ``multiprocessing.Pool`` are terminated without running ``atexit``
+hooks, so flushing eagerly at top-level-span completion is what makes
+their spans survive.
+
+Timestamps come from :func:`time.perf_counter`, which on Linux reads
+the system-wide monotonic clock, so parent and forked-worker spans
+share a comparable time base.  Export either as raw JSONL (one span
+dict per line) or as the Chrome ``chrome://tracing`` / Perfetto
+trace-event format via :func:`chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+SPAN_FILE_PREFIX = "spans-"
+
+
+class _NullSpan:
+    """Shared no-op span returned whenever tracing is disabled.
+
+    A single module-level instance: entering, exiting, and annotating it
+    allocate nothing, which is what keeps instrumented hot paths free
+    when observability is off.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region; usable only as a context manager."""
+
+    __slots__ = ("name", "attrs", "pid", "tid", "t0", "duration_s", "depth", "parent", "_tracer", "_record")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: Dict, record: bool = True) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.pid = os.getpid()
+        self.tid = threading.get_native_id()
+        self.t0 = 0.0
+        self.duration_s = 0.0
+        self.depth = 0
+        self.parent: Optional[str] = None
+        self._tracer = tracer
+        self._record = record
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes mid-span (e.g. losses known only at the end)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        if self._record:
+            stack = self._tracer._stack_for_thread()
+            self.depth = len(stack)
+            self.parent = stack[-1].name if stack else None
+            stack.append(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.duration_s = time.perf_counter() - self.t0
+        if self._record:
+            stack = self._tracer._stack_for_thread()
+            if stack and stack[-1] is self:
+                stack.pop()
+            self._tracer._append(self)
+            if not stack:
+                self._tracer.flush()
+        return False
+
+
+class SpanTracer:
+    """Buffers completed spans and spills them to per-pid JSONL files."""
+
+    def __init__(self, directory: Optional[Path] = None) -> None:
+        self.directory: Optional[Path] = Path(directory) if directory else None
+        self._lock = threading.Lock()
+        self._buffer: List[Dict] = []
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack_for_thread(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, attrs: Optional[Dict] = None, record: bool = True) -> Span:
+        """New span; ``record=False`` gives a pure stopwatch (no buffering)."""
+        return Span(self, name, dict(attrs or {}), record=record)
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            self._buffer.append(
+                {
+                    "name": span.name,
+                    "ts": span.t0,
+                    "dur": span.duration_s,
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "depth": span.depth,
+                    "parent": span.parent,
+                    "attrs": span.attrs,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    def spill_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{SPAN_FILE_PREFIX}{os.getpid()}.jsonl"
+
+    def flush(self) -> Optional[Path]:
+        """Append the buffered spans to this process's spill file."""
+        with self._lock:
+            if not self._buffer:
+                return self.spill_path()
+            pending, self._buffer = self._buffer, []
+        path = self.spill_path()
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            for record in pending:
+                fh.write(json.dumps(record, default=str) + "\n")
+        return path
+
+    def reset(self) -> None:
+        """Drop buffered spans and any open stack (used after fork/tests)."""
+        with self._lock:
+            self._buffer = []
+        self._local = threading.local()
+
+
+# ---------------------------------------------------------------------------
+# export helpers
+
+
+def read_spans(directory: Path) -> List[Dict]:
+    """Load every span from the ``spans-*.jsonl`` spill files in a directory.
+
+    Corrupt lines (e.g. a worker killed mid-write) are skipped; spans
+    are returned sorted by start time so exports are deterministic.
+    """
+    directory = Path(directory)
+    spans: List[Dict] = []
+    if not directory.exists():
+        return spans
+    for path in sorted(directory.glob(f"{SPAN_FILE_PREFIX}*.jsonl")):
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "name" in record and "ts" in record:
+                spans.append(record)
+    spans.sort(key=lambda s: (s.get("ts", 0.0), s.get("pid", 0)))
+    return spans
+
+
+def chrome_trace(spans: Sequence[Dict]) -> Dict:
+    """Convert span dicts to the Chrome trace-event JSON format.
+
+    Emits complete ("X") events with microsecond timestamps rebased to
+    the earliest span, so the file loads directly in
+    ``chrome://tracing`` / Perfetto with pid/tid lanes per process and
+    thread.
+    """
+    events: List[Dict] = []
+    base = min((s["ts"] for s in spans), default=0.0)
+    for s in spans:
+        events.append(
+            {
+                "name": s["name"],
+                "cat": s["name"].split(".", 1)[0],
+                "ph": "X",
+                "ts": (s["ts"] - base) * 1e6,
+                "dur": max(s.get("dur", 0.0), 0.0) * 1e6,
+                "pid": s.get("pid", 0),
+                "tid": s.get("tid", 0),
+                "args": s.get("attrs", {}),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

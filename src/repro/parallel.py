@@ -24,8 +24,31 @@ import multiprocessing
 import os
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from . import obs
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class _SpanMapper:
+    """Picklable wrapper running each work item inside a ``parallel.item`` span.
+
+    Used only when tracing is enabled.  The span (pid/tid tagged) plus
+    the explicit :func:`repro.obs.flush` per item are what let worker
+    timelines survive pool teardown and merge into the parent trace.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, pair):
+        index, item = pair
+        with obs.span("parallel.item", index=index):
+            result = self.fn(item)
+        obs.flush()
+        return result
 
 
 def default_processes(n_items: int) -> int:
@@ -56,13 +79,23 @@ def parallel_map(
     if processes is None:
         processes = default_processes(len(work))
     processes = min(processes, len(work))
-    if processes <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
-    try:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ctx.Pool(processes=processes) as pool:
-            return pool.map(fn, work, chunksize=chunksize)
-    except (OSError, PermissionError, ValueError):
-        # no semaphores / fork blocked (sandbox): serial fallback
-        return [fn(item) for item in work]
+    if obs.trace_enabled():
+        run_fn: Callable = _SpanMapper(fn)
+        work = list(enumerate(work))
+    else:
+        run_fn = fn
+    with obs.span("parallel.map", items=len(work), processes=processes) as sp:
+        if processes <= 1 or len(work) <= 1:
+            sp.set(pool="serial")
+            return [run_fn(item) for item in work]
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            # the initializer clears obs state copied in by fork so worker
+            # spans/metrics start clean (no double-reported parent data)
+            with ctx.Pool(processes=processes, initializer=obs.child_after_fork) as pool:
+                return pool.map(run_fn, work, chunksize=chunksize)
+        except (OSError, PermissionError, ValueError):
+            # no semaphores / fork blocked (sandbox): serial fallback
+            sp.set(pool="serial-fallback")
+            return [run_fn(item) for item in work]

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..parallel import parallel_map
 from .operators import OPERATORS, get_operator
 from .simulator import TraceSimulator
@@ -167,22 +168,40 @@ def run_campaign(
 
     from ..data.cache import resolve_cache  # local: avoids import cycle
 
-    trace_cache = resolve_cache(cache)
-    if trace_cache is None:
-        traces = synthesize()
-    else:
-        traces = trace_cache.get_or_create(
-            {"kind": "campaign", **asdict(config)}, synthesize
-        )
+    with obs.span(
+        "campaign.run",
+        operators=list(config.operators),
+        scenarios=list(config.scenarios),
+        rats=list(config.rats),
+        traces=len(jobs),
+    ):
+        trace_cache = resolve_cache(cache)
+        if trace_cache is None:
+            traces = synthesize()
+        else:
+            traces = trace_cache.get_or_create(
+                {"kind": "campaign", **asdict(config)}, synthesize
+            )
 
-    all_traces = list(traces)
-    grouped: Dict[Tuple[str, str, str], List[Trace]] = {}
-    for key, trace in zip(keys, all_traces):
-        grouped.setdefault(key, []).append(trace)
-    stats = {
-        key: analyze_traces(cell_traces, key[0], key[1])
-        for key, cell_traces in grouped.items()
-    }
+        all_traces = list(traces)
+        grouped: Dict[Tuple[str, str, str], List[Trace]] = {}
+        for key, trace in zip(keys, all_traces):
+            grouped.setdefault(key, []).append(trace)
+        stats = {
+            key: analyze_traces(cell_traces, key[0], key[1])
+            for key, cell_traces in grouped.items()
+        }
+    obs.write_manifest(
+        kind="campaign",
+        config=asdict(config),
+        seed=config.seed,
+        extra={
+            "n_traces": len(all_traces),
+            "ca_prevalence": {
+                "/".join(key): stat.ca_prevalence for key, stat in stats.items()
+            },
+        },
+    )
     return CampaignResult(traces=TraceSet(all_traces), stats=stats)
 
 

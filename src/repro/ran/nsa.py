@@ -23,6 +23,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from .cells import Deployment, build_deployment
 from .mobility import MobilityModel, make_mobility
 from .operators import OperatorProfile, get_operator
@@ -143,6 +144,32 @@ class DualConnectivitySimulator:
         self._nr_attached = False
         self._nr_timer = 0.0
 
+        with obs.span(
+            "simulate.nsa_run",
+            operator=self.operator.name,
+            scenario=self.scenario,
+            mobility=self.mobility_name,
+            steps=n_steps,
+            seed=self.seed,
+        ):
+            records = self._run_steps(n_steps, state)
+            # the legs are driven through step() directly, so their
+            # per-step tallies are published here, not by their run()
+            self.lte._publish_obs_counts()
+            self.nr._publish_obs_counts()
+        return Trace(
+            records=records,
+            dt_s=self.dt_s,
+            operator=self.operator.name,
+            scenario=self.scenario,
+            mobility=self.mobility_name,
+            modem=self.ue.modem,
+            rat="NSA",
+            route_id=route_id,
+            seed=self.seed,
+        )
+
+    def _run_steps(self, n_steps: int, state) -> List[TraceRecord]:
         records: List[TraceRecord] = []
         for _ in range(n_steps):
             state = self.mobility.step(self.dt_s, self._rng)
@@ -176,17 +203,7 @@ class DualConnectivitySimulator:
                     speed_mps=state.speed_mps,
                 )
             )
-        return Trace(
-            records=records,
-            dt_s=self.dt_s,
-            operator=self.operator.name,
-            scenario=self.scenario,
-            mobility=self.mobility_name,
-            modem=self.ue.modem,
-            rat="NSA",
-            route_id=route_id,
-            seed=self.seed,
-        )
+        return records
 
     def nr_attachment_ratio(self, trace: Trace) -> float:
         """Fraction of samples where the NR leg carried traffic."""

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from .bands import Band
 from .ca import CAManager
 from .cells import Cell, Deployment, build_deployment
@@ -440,6 +441,21 @@ class TraceSimulator:
         """Clear per-run radio/CA state (called by :meth:`run`)."""
         self._since_refresh = math.inf
         self._step_index = 0
+        self._obs_counts: Dict[str, int] = {}
+
+    def _publish_obs_counts(self) -> None:
+        """Bulk-publish the per-step tallies accumulated by :meth:`step`.
+
+        Per-step ``obs.counter`` calls would take the registry lock
+        hundreds of times per trace and show up in the bench's
+        obs-overhead gate; :meth:`step` instead tallies into a plain
+        dict and :meth:`run` (or the NSA driver) publishes once.
+        """
+        counts = getattr(self, "_obs_counts", None)
+        if counts:
+            for name, value in counts.items():
+                obs.counter(name, value)
+            counts.clear()
 
     def step(self, state) -> TraceRecord:
         """Advance one sampling interval at the given UE kinematic state.
@@ -465,6 +481,18 @@ class TraceSimulator:
                 rsrp_map, sinr_map, rsrq_map = self._radio_update_loop(state, rho)
 
             ca_state = self.ca.step(self.dt_s, rsrp_map, cell_by_id)
+
+            if obs.metrics_enabled():
+                counts = getattr(self, "_obs_counts", None)
+                if counts is None:  # step() before any reset()/run()
+                    counts = self._obs_counts = {}
+                counts["sim.steps"] = counts.get("sim.steps", 0) + 1
+                radio = "sim.radio.vectorized" if _VECTORIZED_RADIO else "sim.radio.loop"
+                counts[radio] = counts.get(radio, 0) + 1
+                for event in ca_state.events:
+                    # events look like "scell_add:n78@3500"; bucket by kind
+                    kind = f"sim.event.{event.split(':', 1)[0]}"
+                    counts[kind] = counts.get(kind, 0) + 1
 
             cc_samples: List[CCSample] = []
             aggregate_bw_so_far = 0.0
@@ -536,9 +564,19 @@ class TraceSimulator:
         state = self.mobility.reset(self._rng)
         self.reset()
         records: List[TraceRecord] = []
-        for _ in range(n_steps):
-            state = self.mobility.step(self.dt_s, self._rng)
-            records.append(self.step(state))
+        with obs.span(
+            "simulate.run",
+            operator=self.operator.name,
+            scenario=self.scenario,
+            mobility=self.mobility_name,
+            rat=self.rat,
+            steps=n_steps,
+            seed=self.seed,
+        ):
+            for _ in range(n_steps):
+                state = self.mobility.step(self.dt_s, self._rng)
+                records.append(self.step(state))
+            self._publish_obs_counts()
         return Trace(
             records=records,
             dt_s=self.dt_s,

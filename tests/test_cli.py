@@ -85,3 +85,60 @@ class TestTrainEvaluate:
     def test_evaluate_unknown_predictor(self, capsys):
         rc = main(["evaluate", "--predictors", "Oracle9000"])
         assert rc == 2
+
+
+class TestObs:
+    @pytest.fixture(autouse=True)
+    def obs_off_after(self):
+        from repro import obs
+
+        yield
+        obs.configure(mode=obs.MODE_OFF)
+        obs.reset()
+
+    def test_simulate_with_trace_then_report_and_chrome(self, tmp_path, capsys):
+        import json
+
+        obs_dir = tmp_path / "obs"
+        rc = main(
+            [
+                "simulate", "--duration", "10", "--seed", "3",
+                "--obs", "trace", "--obs-dir", str(obs_dir),
+            ]
+        )
+        assert rc == 0
+        assert (obs_dir / "latest.json").exists()
+
+        rc = main(["obs", "report", "--dir", str(obs_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulate run" in out
+        assert "sim.steps" in out
+
+        chrome = tmp_path / "trace.json"
+        rc = main(["obs", "trace", "--chrome", str(chrome), "--dir", str(obs_dir)])
+        assert rc == 0
+        doc = json.loads(chrome.read_text())
+        assert any(e["name"] == "simulate.run" for e in doc["traceEvents"])
+
+    def test_obs_report_json_mode(self, tmp_path, capsys):
+        obs_dir = tmp_path / "obs"
+        main(["simulate", "--duration", "5", "--obs", "metrics", "--obs-dir", str(obs_dir)])
+        capsys.readouterr()
+        import json
+
+        rc = main(["obs", "report", "--dir", str(obs_dir), "--json"])
+        assert rc == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["kind"] == "simulate"
+        assert manifest["kernel_paths"]["vectorized_radio"] is True
+
+    def test_obs_report_empty_dir_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["obs", "report", "--dir", str(tmp_path)])
+        assert rc == 1
+        assert "no run manifest" in capsys.readouterr().err
+
+    def test_obs_trace_empty_dir_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["obs", "trace", "--chrome", str(tmp_path / "t.json"), "--dir", str(tmp_path)])
+        assert rc == 1
+        assert "no spans" in capsys.readouterr().err

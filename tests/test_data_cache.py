@@ -73,6 +73,35 @@ def test_cache_get_returns_none_on_miss(tmp_path):
     assert not cache.contains({"kind": "never-stored"})
 
 
+def test_cache_corrupt_entry_is_reported_and_regenerated(tmp_path, caplog):
+    """A truncated/corrupt entry acts as a miss: warned, counted, deleted."""
+    import logging
+
+    from repro import obs
+
+    cache = TraceCache(tmp_path)
+    config = {"kind": "subdataset", "seed": 1}
+    cache.put(config, generate_traces(SPEC, seed=1, cache=None, **FAST))
+    entry = cache.path_for(config)
+    jsonl = sorted(entry.glob("*.jsonl"))[0]
+    jsonl.write_text("{not json at all\n")
+
+    obs.configure(mode=obs.MODE_METRICS)
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            assert cache.get(config) is None
+        assert not entry.exists()  # bad entry deleted, next run regenerates
+        assert any("cache.corrupt" in rec.message for rec in caplog.records)
+        assert obs.snapshot()["counters"].get("cache.corrupt") == 1.0
+    finally:
+        obs.configure(mode=obs.MODE_OFF)
+        obs.reset()
+    # and get_or_create recovers by synthesizing a fresh entry
+    fresh = cache.get_or_create(config, lambda: generate_traces(SPEC, seed=1, cache=None, **FAST))
+    assert len(fresh.traces) == FAST["n_traces"]
+    assert cache.contains(config)
+
+
 def test_cache_clear_removes_entries(tmp_path):
     cache = TraceCache(tmp_path)
     generate_traces(SPEC, seed=1, cache=cache, **FAST)
