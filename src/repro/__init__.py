@@ -21,9 +21,15 @@ Subpackages
 ``repro.obs``
     Observability: metrics registry, span tracing, run manifests
     (``REPRO_OBS`` env knob; off by default).
+``repro.runtime``
+    Canonical kernel-path dispatch flags + the repo's one config-hash
+    recipe (``runtime.configure(...)`` / ``runtime.use(...)``).
+``repro.pipeline``
+    Config-driven, resumable experiment pipeline
+    (``repro5g run experiment.json``).
 """
 
-from . import analysis, apps, core, data, forecast, nn, obs, ran, trees
+from . import analysis, apps, core, data, forecast, nn, obs, pipeline, ran, runtime, trees
 
 __version__ = "1.0.0"
 
@@ -35,7 +41,9 @@ __all__ = [
     "forecast",
     "nn",
     "obs",
+    "pipeline",
     "ran",
+    "runtime",
     "trees",
     "__version__",
 ]

@@ -9,6 +9,8 @@ Usage (also installed as the ``repro5g`` console script):
         --timescale long --epochs 40 --model-out prism.npz
     python -m repro.cli evaluate --operator OpZ --mobility driving \
         --timescale long --predictors Prophet LSTM Prism5G
+    python -m repro.cli evaluate --list-predictors
+    python -m repro.cli run examples/experiment_small.json
     python -m repro.cli train --obs trace --obs-dir .repro-obs ...
     python -m repro.cli obs report
     python -m repro.cli obs trace --chrome trace.json
@@ -30,9 +32,10 @@ from typing import List, Optional, Sequence
 from . import obs
 from .analysis import format_table
 from .core import DeepConfig, evaluate_predictors, make_default_predictors
-from .core.predictors import PREDICTOR_REGISTRY, Prism5GPredictor
+from .core.predictors import Prism5GPredictor, registered_predictors
 from .data import SubDatasetSpec, build_subdataset, random_split
 from .nn.serialization import save_state
+from .pipeline import ExperimentConfig, run_experiment
 from .ran import CampaignConfig, DualConnectivitySimulator, TraceSimulator, run_campaign
 
 
@@ -163,9 +166,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     _configure_obs(args)
-    unknown = [p for p in args.predictors if p not in PREDICTOR_REGISTRY]
+    if args.list_predictors:
+        for name in registered_predictors():
+            print(name)
+        return 0
+    unknown = [p for p in args.predictors if p not in registered_predictors()]
     if unknown:
-        print(f"unknown predictors: {unknown}; choose from {sorted(PREDICTOR_REGISTRY)}", file=sys.stderr)
+        print(f"unknown predictors: {unknown}; choose from {registered_predictors()}", file=sys.stderr)
         return 2
     spec = _spec_from_args(args)
     dataset = build_subdataset(spec, n_traces=args.traces, samples_per_trace=args.samples, seed=args.seed)
@@ -177,6 +184,28 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     if "Prism5G" in result.rmse and len(result.rmse) > 1:
         print(f"Prism5G improvement over best baseline: {result.improvement_over_best_baseline():+.1f}%")
     obs.flush()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    _configure_obs(args)
+    try:
+        config = ExperimentConfig.load(args.config)
+    except (OSError, ValueError) as exc:
+        print(f"{args.config}: {exc}", file=sys.stderr)
+        return 2
+    print(f"experiment {config.name} [{config.hash()}]")
+    result = run_experiment(config, out_dir=args.out_dir, force=args.force)
+    rows = [
+        [status.stage, status.status, f"{status.duration_s:.2f}s", status.artifact or "-"]
+        for status in result.stages
+    ]
+    print(format_table(["Stage", "Status", "Time", "Artifact"], rows, title=f"run dir: {result.run_dir}"))
+    if result.rmse:
+        rows = [[name, result.rmse[name]] for name in config.predictors]
+        print(format_table(["Predictor", "RMSE"], rows, title=f"=== {config.name} ==="))
+    if result.all_skipped:
+        print("all stages skipped (complete run for this config already on disk; --force re-runs)")
     return 0
 
 
@@ -275,7 +304,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ml_args(evaluate)
     evaluate.add_argument("--predictors", nargs="+", default=["Prophet", "LSTM", "Prism5G"])
     evaluate.add_argument("--split", default="random", choices=["random", "trace"])
+    evaluate.add_argument(
+        "--list-predictors", action="store_true",
+        help="print the registered predictor names and exit",
+    )
     evaluate.set_defaults(func=_cmd_evaluate)
+
+    run = sub.add_parser("run", help="run (or resume) an experiment from a JSON config")
+    run.add_argument("config", help="path to an experiment JSON file (see examples/)")
+    run.add_argument("--out-dir", default=None, help="run directory (default: runs/<name>-<hash>)")
+    run.add_argument("--force", action="store_true", help="re-run every stage even if artifacts exist")
+    _add_obs_args(run)
+    run.set_defaults(func=_cmd_run)
 
     obs_cmd = sub.add_parser("obs", help="inspect observability output")
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)

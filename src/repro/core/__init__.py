@@ -16,7 +16,11 @@ from .predictors import (
     Prism5GPredictor,
     ProphetPredictor,
     RFPredictor,
+    TABLE4_LINEUP,
     TCNPredictor,
+    create_predictor,
+    register_predictor,
+    registered_predictors,
 )
 from .prism5g import Prism5G, pack_inputs, unpack_inputs
 
@@ -32,10 +36,14 @@ __all__ = [
     "Prism5GPredictor",
     "ProphetPredictor",
     "RFPredictor",
+    "TABLE4_LINEUP",
     "TCNPredictor",
+    "create_predictor",
     "evaluate_on_new_traces",
     "evaluate_predictors",
     "make_default_predictors",
+    "register_predictor",
+    "registered_predictors",
     "pack_inputs",
     "unpack_inputs",
 ]

@@ -15,7 +15,14 @@ from .. import obs
 from ..data.datasets import MLDataset
 from ..data.splits import random_split, trace_level_split
 from ..data.windowing import WindowedDataset
-from .predictors import DeepConfig, Predictor
+from ..nn.losses import rmse
+from .predictors import (
+    TABLE4_LINEUP,
+    DeepConfig,
+    Predictor,
+    create_predictor,
+    registered_predictors,
+)
 
 
 @dataclass
@@ -35,31 +42,23 @@ class EvaluationResult:
         return (best - self.rmse[ours]) / best * 100.0
 
 
-def make_default_predictors(config: Optional[DeepConfig] = None, include: Optional[Sequence[str]] = None):
-    """Instantiate the Table 4 predictor line-up."""
-    from .predictors import (
-        GBDTPredictor,
-        LSTMPredictor,
-        Lumos5GPredictor,
-        Prism5GPredictor,
-        ProphetPredictor,
-        RFPredictor,
-        TCNPredictor,
-    )
+def make_default_predictors(
+    config: Optional[DeepConfig] = None, include: Optional[Sequence[str]] = None
+) -> Dict[str, Predictor]:
+    """Instantiate the Table 4 predictor line-up from the registry.
 
+    ``include`` selects a subset by name — any registered name works,
+    including the Table 13 ablations.  Unknown names raise
+    ``ValueError`` listing the registered predictors.
+    """
     config = config or DeepConfig()
-    lineup: Dict[str, Predictor] = {
-        "Prophet": ProphetPredictor(),
-        "LSTM": LSTMPredictor(config),
-        "TCN": TCNPredictor(config),
-        "Lumos5G": Lumos5GPredictor(config),
-        "GBDT": GBDTPredictor(),
-        "RF": RFPredictor(),
-        "Prism5G": Prism5GPredictor(config),
-    }
-    if include is not None:
-        lineup = {name: lineup[name] for name in include}
-    return lineup
+    names = TABLE4_LINEUP if include is None else tuple(include)
+    unknown = sorted(set(names) - set(registered_predictors()))
+    if unknown:
+        raise ValueError(
+            f"unknown predictor(s) {unknown}; registered predictors: {registered_predictors()}"
+        )
+    return {name: create_predictor(name, config) for name in names}
 
 
 def evaluate_predictors(
@@ -89,7 +88,7 @@ def evaluate_predictors(
                 predictor.fit(train, val)
             with obs.span("evaluate.predict", predictor=name, samples=len(test)):
                 pred = predictor.predict(test)
-            result.rmse[name] = float(np.sqrt(np.mean((pred - test.y) ** 2)))
+            result.rmse[name] = rmse(pred, test.y)
             if obs.metrics_enabled():
                 obs.counter("evaluate.predictors")
                 obs.gauge(f"evaluate.rmse.{name}", result.rmse[name])
@@ -127,5 +126,5 @@ def evaluate_on_new_traces(
     for name, predictor in predictors.items():
         predictor.fit(train, val)
         pred = predictor.predict(new_windows)
-        out[name] = float(np.sqrt(np.mean((pred - new_windows.y) ** 2)))
+        out[name] = rmse(pred, new_windows.y)
     return out

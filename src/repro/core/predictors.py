@@ -10,8 +10,8 @@ through one evaluation loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Type, Union
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from ..data.windowing import WindowedDataset, flatten_for_trees
 from ..forecast.prophet import StructuralProphet
 from ..nn.losses import rmse
 from ..nn.modules import Linear, LSTM, LSTMCell, Module, TCN, fused_kernels_enabled
+from ..nn.serialization import load_state, read_checkpoint_metadata, save_state
 from ..nn.tensor import Tensor, concat, lstm_decoder_seq, stack
 from ..nn.training import Trainer
 from ..trees.boosting import GradientBoostingRegressor
@@ -30,6 +31,9 @@ class Predictor:
     """Base predictor: fit on windows, predict (n, horizon)."""
 
     name = "base"
+    #: True for predictors whose constructor takes a :class:`DeepConfig`
+    #: (the registry passes the shared config through to those).
+    requires_config = False
 
     def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "Predictor":
         raise NotImplementedError
@@ -43,8 +47,77 @@ class Predictor:
 
 
 # ----------------------------------------------------------------------
+# Registry: one table mapping names to predictor factories
+# ----------------------------------------------------------------------
+#: factory signature: ``factory(config) -> Predictor`` (``config`` is a
+#: :class:`DeepConfig`, ignored by the non-deep predictors).
+PredictorFactory = Callable[[Optional["DeepConfig"]], "Predictor"]
+
+_PREDICTOR_FACTORIES: Dict[str, PredictorFactory] = {}
+
+
+def register_predictor(name: str, factory: Optional[PredictorFactory] = None):
+    """Register a predictor under ``name``; usable as a decorator.
+
+    Decorating a :class:`Predictor` subclass registers a factory that
+    instantiates it (passing the :class:`DeepConfig` through when the
+    class is a deep predictor); decorating a plain callable registers it
+    as-is.  Everything that resolves predictor names — Table 4's
+    ``make_default_predictors``, the CLI ``--predictors`` flag, the
+    experiment pipeline, and the ablation line-up — reads this one
+    table.
+
+    ::
+
+        @register_predictor("LSTM")
+        class LSTMPredictor(_DeepPredictor): ...
+
+        @register_predictor("Prism5G (no fusion)")
+        def _no_fusion(config=None):
+            return Prism5GPredictor(config, use_fusion=False)
+    """
+    if name in _PREDICTOR_FACTORIES:
+        raise ValueError(f"predictor {name!r} is already registered")
+
+    def decorate(obj):
+        if isinstance(obj, type) and issubclass(obj, Predictor):
+            if getattr(obj, "requires_config", False):
+                _PREDICTOR_FACTORIES[name] = lambda config=None, cls=obj: cls(config)
+            else:
+                _PREDICTOR_FACTORIES[name] = lambda config=None, cls=obj: cls()
+        else:
+            _PREDICTOR_FACTORIES[name] = obj
+        return obj
+
+    if factory is not None:
+        return decorate(factory)
+    return decorate
+
+
+def registered_predictors() -> List[str]:
+    """Sorted names of every registered predictor (incl. ablations)."""
+    return sorted(_PREDICTOR_FACTORIES)
+
+
+def create_predictor(name: str, config: Optional["DeepConfig"] = None) -> "Predictor":
+    """Instantiate a registered predictor by name.
+
+    Raises ``ValueError`` naming the registered predictors when the
+    name is unknown — never a bare ``KeyError``.
+    """
+    try:
+        factory = _PREDICTOR_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; registered predictors: {registered_predictors()}"
+        ) from None
+    return factory(config)
+
+
+# ----------------------------------------------------------------------
 # Statistics-only: Prophet
 # ----------------------------------------------------------------------
+@register_predictor("Prophet")
 class ProphetPredictor(Predictor):
     """Refit a structural model on each window's history (rolling refit).
 
@@ -165,10 +238,12 @@ class _DeepPredictor(Predictor):
     """
 
     tput_history_only = False
+    requires_config = True
 
     def __init__(self, config: Optional[DeepConfig] = None) -> None:
         self.config = config or DeepConfig()
         self.trainer: Optional[Trainer] = None
+        self._build_args: Optional[Dict[str, int]] = None
 
     def _packed(self, dataset: WindowedDataset) -> np.ndarray:
         if self.tput_history_only:
@@ -178,9 +253,24 @@ class _DeepPredictor(Predictor):
     def _build(self, in_size: int, n_ccs: int, n_features: int, horizon: int) -> Module:
         raise NotImplementedError
 
-    def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "_DeepPredictor":
+    def _prepare(self, train: WindowedDataset) -> "tuple[np.ndarray, Module]":
+        """Pack the inputs and build the model, recording the build shape.
+
+        The recorded shape is what makes checkpoints self-describing:
+        :meth:`load_checkpoint` rebuilds an identical architecture from
+        the stored args without needing the training data.
+        """
         x_train = self._packed(train)
-        model = self._build(x_train.shape[2], train.n_ccs, train.x.shape[3], train.horizon)
+        self._build_args = {
+            "in_size": int(x_train.shape[2]),
+            "n_ccs": int(train.n_ccs),
+            "n_features": int(train.x.shape[3]),
+            "horizon": int(train.horizon),
+        }
+        return x_train, self._build(**self._build_args)
+
+    def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "_DeepPredictor":
+        x_train, model = self._prepare(train)
         self.trainer = Trainer(
             model,
             lr=self.config.lr,
@@ -199,7 +289,65 @@ class _DeepPredictor(Predictor):
             raise RuntimeError("predictor has not been fitted")
         return self.trainer.predict(self._packed(dataset), float32=float32)
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    def save_checkpoint(self, path) -> None:
+        """Persist the fitted model with a self-describing metadata header.
 
+        The header records the predictor name, the build shape, and the
+        :class:`DeepConfig`, so :meth:`load_checkpoint` can rebuild the
+        exact architecture and fail with a clear error on mismatch.
+        """
+        if self.trainer is None or self._build_args is None:
+            raise RuntimeError("predictor has not been fitted")
+        save_state(
+            self.trainer.model,
+            path,
+            metadata={
+                "predictor": self.name,
+                "build": self._build_args,
+                "deep_config": asdict(self.config),
+            },
+        )
+
+    def load_checkpoint(self, path) -> "_DeepPredictor":
+        """Restore a checkpoint written by :meth:`save_checkpoint`.
+
+        Rebuilds the architecture from the stored build args and this
+        predictor's :class:`DeepConfig`, then loads the weights.  A
+        checkpoint from a different predictor, or weights whose shapes
+        disagree with the rebuilt architecture (e.g. a different
+        ``hidden`` size), raises ``ValueError`` with the offending
+        names/shapes instead of crashing mid-forward.
+        """
+        meta = read_checkpoint_metadata(path)
+        if meta is None or "build" not in meta.get("metadata", {}):
+            raise ValueError(
+                f"{path}: not a predictor checkpoint (no metadata header); "
+                "re-save with Predictor.save_checkpoint"
+            )
+        saved_for = meta["metadata"].get("predictor")
+        if saved_for != self.name:
+            raise ValueError(
+                f"{path}: checkpoint was saved by predictor {saved_for!r}, "
+                f"cannot load into {self.name!r}"
+            )
+        self._build_args = {k: int(v) for k, v in meta["metadata"]["build"].items()}
+        model = self._build(**self._build_args)
+        load_state(model, path)
+        model.eval()
+        self.trainer = Trainer(
+            model,
+            lr=self.config.lr,
+            batch_size=self.config.batch_size,
+            max_epochs=self.config.max_epochs,
+            patience=self.config.patience,
+            seed=self.config.seed,
+        )
+        return self
+
+
+@register_predictor("LSTM")
 class LSTMPredictor(_DeepPredictor):
     """Bandwidth-history LSTM (Mei et al. [28]): time series in, no radio features."""
 
@@ -210,6 +358,7 @@ class LSTMPredictor(_DeepPredictor):
         return _SeqRegressor(in_size, self.config.hidden, horizon, seed=self.config.seed)
 
 
+@register_predictor("TCN")
 class TCNPredictor(_DeepPredictor):
     """Temporal convolutional forecaster (Chen et al. [9]): time series only."""
 
@@ -220,6 +369,7 @@ class TCNPredictor(_DeepPredictor):
         return _TCNRegressor(in_size, self.config.hidden, horizon, seed=self.config.seed)
 
 
+@register_predictor("Lumos5G")
 class Lumos5GPredictor(_DeepPredictor):
     """Lumos5G's Seq2Seq architecture [32] on UE-side features."""
 
@@ -229,6 +379,7 @@ class Lumos5GPredictor(_DeepPredictor):
         return _Seq2Seq(in_size, self.config.hidden, horizon, seed=self.config.seed)
 
 
+@register_predictor("Prism5G")
 class Prism5GPredictor(_DeepPredictor):
     """The paper's CA-aware model (optionally ablated).
 
@@ -288,8 +439,7 @@ class Prism5GPredictor(_DeepPredictor):
         return np.concatenate([dataset.y, per_cc], axis=1)
 
     def fit(self, train: WindowedDataset, val: Optional[WindowedDataset] = None) -> "Prism5GPredictor":
-        x_train = self._packed(train)
-        model = self._build(x_train.shape[2], train.n_ccs, train.x.shape[3], train.horizon)
+        x_train, model = self._prepare(train)
         horizon = train.horizon
         has_cc = train.y_cc is not None
         weight = self.cc_loss_weight
@@ -366,6 +516,7 @@ class _TreePredictor(Predictor):
         return np.stack([model.predict(features) for model in self.models], axis=1)
 
 
+@register_predictor("GBDT")
 class GBDTPredictor(_TreePredictor):
     """Gradient-boosted trees (used by Lumos5G [32])."""
 
@@ -387,6 +538,7 @@ class GBDTPredictor(_TreePredictor):
         )
 
 
+@register_predictor("RF")
 class RFPredictor(_TreePredictor):
     """Random forest (Alimpertis et al. [4])."""
 
@@ -403,7 +555,33 @@ class RFPredictor(_TreePredictor):
         )
 
 
-#: registry used by benchmarks; order matches Table 4's columns.
+# ----------------------------------------------------------------------
+# Ablations (Table 13): registered as factories so the pipeline and the
+# CLI can name them directly.
+# ----------------------------------------------------------------------
+@register_predictor("Prism5G (no state)")
+def _prism5g_no_state(config: Optional[DeepConfig] = None) -> Prism5GPredictor:
+    return Prism5GPredictor(config, use_state_trigger=False)
+
+
+@register_predictor("Prism5G (no fusion)")
+def _prism5g_no_fusion(config: Optional[DeepConfig] = None) -> Prism5GPredictor:
+    return Prism5GPredictor(config, use_fusion=False)
+
+
+#: Table 4's predictor line-up, in column order.
+TABLE4_LINEUP: "tuple[str, ...]" = (
+    "Prophet",
+    "LSTM",
+    "TCN",
+    "Lumos5G",
+    "GBDT",
+    "RF",
+    "Prism5G",
+)
+
+#: legacy name→class map, kept for back-compat; new code should resolve
+#: names through :func:`create_predictor` / :func:`registered_predictors`.
 PREDICTOR_REGISTRY: Dict[str, Type[Predictor]] = {
     "Prophet": ProphetPredictor,
     "LSTM": LSTMPredictor,

@@ -27,7 +27,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .. import obs
+from .. import obs, runtime
 from ..nn.modules import (
     Embedding,
     Linear,
@@ -41,11 +41,16 @@ from ..nn.modules import (
 )
 from ..nn.tensor import Tensor, concat, lstm_decoder_seq, no_grad, stack
 
-#: global switch for the carrier-folded (batched) forward.  On by
-#: default; the per-CC Python loop is kept as a bit-identity oracle for
-#: the property tests and before/after benchmarking — the same pattern
-#: as ``repro.nn.modules.set_fused_kernels``.
-_BATCHED_CC = True
+def _set_batched_mirror(enabled: bool) -> None:
+    global _BATCHED_CC
+    _BATCHED_CC = enabled
+
+
+#: hot-loop mirror of ``runtime.flag("batched_cc")`` — the
+#: carrier-folded (batched) forward vs the per-CC Python loop (kept as
+#: a bit-identity oracle for the property tests and before/after
+#: benchmarking).  The canonical value lives in :mod:`repro.runtime`.
+_BATCHED_CC = runtime.register_mirror("batched_cc", _set_batched_mirror)
 
 #: row cap per fused-kernel call in the folded forward.  Recurrent step
 #: arrays at the full fold height (C·B rows) spill the L2 cache, so the
@@ -60,11 +65,12 @@ def batched_cc_enabled() -> bool:
 
 
 def set_batched_cc(enabled: bool) -> bool:
-    """Toggle the carrier-folded forward; returns the previous value."""
-    global _BATCHED_CC
-    previous = _BATCHED_CC
-    _BATCHED_CC = bool(enabled)
-    return previous
+    """Toggle the carrier-folded forward; returns the previous value.
+
+    .. deprecated:: use ``repro.runtime.configure(batched_cc=...)``;
+       this shim delegates there so both APIs stay consistent.
+    """
+    return runtime.set_flag("batched_cc", enabled)
 
 
 class batched_cc:

@@ -4,17 +4,22 @@ from .artifacts import dataset_summary, load_trace_set, save_trace_set
 from .cache import TraceCache, cache_key, default_cache_dir, resolve_cache
 from .datasets import (
     ALL_SUBDATASETS,
+    DATASET_SCHEMA,
     MLDataset,
     SubDatasetSpec,
     build_subdataset,
     generate_traces,
+    load_dataset,
     normalize_windows,
+    save_dataset,
+    subdataset_cache_config,
 )
 from .splits import random_split, trace_level_split
 from .windowing import WindowedDataset, flatten_for_trees, window_trace, window_traces
 
 __all__ = [
     "ALL_SUBDATASETS",
+    "DATASET_SCHEMA",
     "MLDataset",
     "SubDatasetSpec",
     "TraceCache",
@@ -25,11 +30,14 @@ __all__ = [
     "default_cache_dir",
     "resolve_cache",
     "flatten_for_trees",
+    "load_dataset",
     "load_trace_set",
+    "save_dataset",
     "save_trace_set",
     "generate_traces",
     "normalize_windows",
     "random_split",
+    "subdataset_cache_config",
     "trace_level_split",
     "window_trace",
     "window_traces",

@@ -24,19 +24,21 @@ simply ``rm -rf`` the directory.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import shutil
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Union
 
-from .. import obs
+from .. import obs, runtime
 from ..ran.traces import TraceSet
 from .artifacts import MANIFEST_NAME, load_trace_set, save_trace_set
 
 #: bump when simulator/windowing semantics change so stale entries miss.
-CACHE_SCHEMA_VERSION = "repro-traces-v2"  # v2: vectorized radio update (ulp-level value shifts)
+#: v3: the runtime synthesis fingerprint (vectorized_radio) is folded
+#: into every key, so a cache entry can never silently disagree with
+#: the dispatch path of the run that reads it.
+CACHE_SCHEMA_VERSION = "repro-traces-v3"
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
@@ -47,13 +49,16 @@ CONFIG_NAME = "config.json"
 def cache_key(config: Mapping) -> str:
     """Stable content hash of a simulation configuration.
 
-    The configuration is canonicalized (sorted keys, compact
-    separators) and hashed with SHA-256; the schema version is folded
-    in so semantic changes to the simulator invalidate old entries.
+    Delegates to :func:`repro.runtime.canonical_hash` (the repo's one
+    hashing recipe, shared with obs manifests and the experiment
+    pipeline).  The schema version is folded in so semantic changes to
+    the simulator invalidate old entries, and so is the runtime
+    *synthesis fingerprint* — the dispatch flags that change trace
+    values (``vectorized_radio``) — so toggling a kernel path can never
+    serve traces produced by the other path.
     """
-    payload = {"__schema__": CACHE_SCHEMA_VERSION, **dict(config)}
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+    payload = {"__runtime__": runtime.synthesis_fingerprint(), **dict(config)}
+    return runtime.canonical_hash(payload, schema=CACHE_SCHEMA_VERSION, length=24)
 
 
 def default_cache_dir() -> Path:

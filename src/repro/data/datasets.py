@@ -8,7 +8,9 @@ simulator instead of the authors' XCAL captures (see DESIGN.md).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,6 +61,34 @@ def _synthesize_trace(job: Dict) -> Trace:
     """Top-level worker so :func:`~repro.parallel.parallel_map` can pickle it."""
     sim = TraceSimulator(**job["sim"])
     return sim.run(job["duration_s"], route_id=job["route_id"])
+
+
+def subdataset_cache_config(
+    spec: SubDatasetSpec,
+    n_traces: int = 10,
+    samples_per_trace: int = 400,
+    seed: int = 0,
+    modem: Optional[str] = None,
+) -> Dict:
+    """The trace-cache configuration for one sub-dataset synthesis.
+
+    Shared by :func:`generate_traces` and the experiment pipeline's
+    synthesize stage, so both derive the same cache key for the same
+    work (skip-on-hit checks stay in sync with what gets stored).
+    """
+    return {
+        "kind": "subdataset",
+        "operator": spec.operator,
+        "mobility": spec.mobility,
+        "timescale": spec.timescale,
+        "dt_s": spec.dt_s,
+        "n_traces": n_traces,
+        "samples_per_trace": samples_per_trace,
+        "seed": seed,
+        "modem": modem,
+        "modem_rotation": list(CAMPAIGN_MODEMS),
+        "hour_rotation": list(CAMPAIGN_HOURS),
+    }
 
 
 def generate_traces(
@@ -117,19 +147,7 @@ def generate_traces(
     trace_cache = resolve_cache(cache)
     if trace_cache is None:
         return synthesize()
-    config = {
-        "kind": "subdataset",
-        "operator": spec.operator,
-        "mobility": spec.mobility,
-        "timescale": spec.timescale,
-        "dt_s": spec.dt_s,
-        "n_traces": n_traces,
-        "samples_per_trace": samples_per_trace,
-        "seed": seed,
-        "modem": modem,
-        "modem_rotation": list(CAMPAIGN_MODEMS),
-        "hour_rotation": list(CAMPAIGN_HOURS),
-    }
+    config = subdataset_cache_config(spec, n_traces, samples_per_trace, seed, modem)
     return trace_cache.get_or_create(config, synthesize)
 
 
@@ -203,5 +221,83 @@ def build_subdataset(
         windows=dataset.windows,
         feature_scaler=dataset.feature_scaler,
         target_scaler=dataset.target_scaler,
+        spec=spec,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dataset artifacts (the experiment pipeline's build-dataset stage)
+
+#: bump when the on-disk dataset layout changes incompatibly.
+DATASET_SCHEMA = "repro-dataset-v1"
+
+
+def save_dataset(dataset: MLDataset, path) -> None:
+    """Persist a windowed, normalized dataset (arrays + scalers) as ``.npz``.
+
+    Float64 arrays round-trip bit-exactly through ``np.savez``, so a
+    reloaded dataset produces byte-identical splits and training
+    batches — which is what lets the pipeline's later stages resume
+    from this artifact instead of re-synthesizing traces.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    windows = dataset.windows
+    meta = {
+        "schema": DATASET_SCHEMA,
+        "spec": None
+        if dataset.spec is None
+        else {
+            "operator": dataset.spec.operator,
+            "mobility": dataset.spec.mobility,
+            "timescale": dataset.spec.timescale,
+        },
+        "has_y_cc": windows.y_cc is not None,
+    }
+    arrays = {
+        "x": windows.x,
+        "mask": windows.mask,
+        "y": windows.y,
+        "y_hist": windows.y_hist,
+        "trace_ids": windows.trace_ids,
+        "feature_min": dataset.feature_scaler.data_min,
+        "feature_max": dataset.feature_scaler.data_max,
+        "target_min": dataset.target_scaler.data_min,
+        "target_max": dataset.target_scaler.data_max,
+        "__meta__": np.array(json.dumps(meta, sort_keys=True)),
+    }
+    if windows.y_cc is not None:
+        arrays["y_cc"] = windows.y_cc
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path) -> MLDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(str(archive["__meta__"][()]))
+        if meta.get("schema") != DATASET_SCHEMA:
+            raise ValueError(
+                f"{path}: unsupported dataset schema {meta.get('schema')!r} "
+                f"(expected {DATASET_SCHEMA!r})"
+            )
+        windows = WindowedDataset(
+            x=archive["x"],
+            mask=archive["mask"],
+            y=archive["y"],
+            y_hist=archive["y_hist"],
+            trace_ids=archive["trace_ids"],
+            y_cc=archive["y_cc"] if meta["has_y_cc"] else None,
+        )
+        feature_scaler = MinMaxScaler()
+        feature_scaler.data_min = archive["feature_min"]
+        feature_scaler.data_max = archive["feature_max"]
+        target_scaler = MinMaxScaler()
+        target_scaler.data_min = archive["target_min"]
+        target_scaler.data_max = archive["target_max"]
+    spec = None if meta["spec"] is None else SubDatasetSpec(**meta["spec"])
+    return MLDataset(
+        windows=windows,
+        feature_scaler=feature_scaler,
+        target_scaler=target_scaler,
         spec=spec,
     )

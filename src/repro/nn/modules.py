@@ -16,13 +16,21 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import obs
+from .. import obs, runtime
 from .tensor import Tensor, affine, concat, gru_cell, gru_seq, lstm_cell, lstm_seq, stack
 
-#: global switch for the fused sequence kernels.  On by default; the
-#: op-by-op reference path is kept for gradient property tests and for
-#: before/after benchmarking (``benchmarks/bench_perf_training.py``).
-_FUSED_KERNELS = True
+
+def _set_fused_mirror(enabled: bool) -> None:
+    global _FUSED_KERNELS
+    _FUSED_KERNELS = enabled
+
+
+#: hot-loop mirror of ``runtime.flag("fused_kernels")`` — the fused
+#: sequence kernels vs the op-by-op oracle path (kept for gradient
+#: property tests and before/after benchmarking).  The canonical value
+#: lives in :mod:`repro.runtime`; this module-level bool only exists so
+#: forward passes read a plain global.
+_FUSED_KERNELS = runtime.register_mirror("fused_kernels", _set_fused_mirror)
 
 
 def fused_kernels_enabled() -> bool:
@@ -30,11 +38,12 @@ def fused_kernels_enabled() -> bool:
 
 
 def set_fused_kernels(enabled: bool) -> bool:
-    """Toggle the fused LSTM/GRU/affine kernels; returns previous value."""
-    global _FUSED_KERNELS
-    previous = _FUSED_KERNELS
-    _FUSED_KERNELS = bool(enabled)
-    return previous
+    """Toggle the fused LSTM/GRU/affine kernels; returns previous value.
+
+    .. deprecated:: use ``repro.runtime.configure(fused_kernels=...)``;
+       this shim delegates there so both APIs stay consistent.
+    """
+    return runtime.set_flag("fused_kernels", enabled)
 
 
 class fused_kernels:

@@ -71,6 +71,9 @@ class Trainer:
         self.rng = np.random.default_rng(seed)
         self.seed = seed
         self.verbose = verbose
+        #: the last :meth:`fit`'s history (``None`` before any fit, and
+        #: for trainers rebuilt from a checkpoint).
+        self.history: Optional[TrainingHistory] = None
 
     def _epoch(self, x: np.ndarray, y: np.ndarray, train: bool) -> float:
         n = len(x)
@@ -104,6 +107,7 @@ class Trainer:
         if len(x_train) != len(y_train):
             raise ValueError("x_train and y_train must have equal length")
         history = TrainingHistory()
+        self.history = history
         # best-model checkpoint buffers, allocated once and reused across
         # improving epochs (np.copyto) instead of rebuilding a deep-copied
         # state_dict every time validation improves

@@ -63,6 +63,7 @@ _MODE = MODE_OFF
 _DIR: Optional[Path] = None
 _REGISTRY = MetricsRegistry()
 _TRACER = SpanTracer()
+_RUN_HASH: Optional[str] = None
 
 __all__ = [
     "OBS_ENV",
@@ -98,6 +99,8 @@ __all__ = [
     "write_manifest",
     "latest_manifest",
     "build_manifest",
+    "run_context",
+    "run_hash",
     "config_hash",
     "git_sha",
     "kernel_paths",
@@ -307,6 +310,36 @@ def write_chrome_trace(out_path: Union[str, Path], directory: Union[str, Path, N
     return out_path
 
 
+def run_hash() -> Optional[str]:
+    """The active experiment's canonical config hash (or ``None``)."""
+    return _RUN_HASH
+
+
+class run_context:
+    """Context manager tagging every manifest with one experiment hash.
+
+    The pipeline (:mod:`repro.pipeline`) wraps a whole run in this, so
+    manifests written by nested subsystems (``Trainer.fit``, the
+    evaluation harness, the campaign driver) all carry the same
+    ``experiment_hash`` without those subsystems knowing about
+    experiments at all.
+    """
+
+    def __init__(self, value: Optional[str]) -> None:
+        self.value = value
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "run_context":
+        global _RUN_HASH
+        self._previous = _RUN_HASH
+        _RUN_HASH = self.value
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _RUN_HASH
+        _RUN_HASH = self._previous
+
+
 def write_manifest(
     kind: str,
     config: Optional[Mapping] = None,
@@ -319,7 +352,9 @@ def write_manifest(
 
     No-op returning ``None`` when observability is off — callers can
     invoke it unconditionally at the end of a run.  The metrics field
-    is the *merged* snapshot (parent + spilled worker metrics).
+    is the *merged* snapshot (parent + spilled worker metrics).  Inside
+    an :class:`run_context` the manifest additionally carries the
+    experiment hash.
     """
     if _MODE == MODE_OFF:
         return None
@@ -332,6 +367,7 @@ def write_manifest(
         metrics=merged_snapshot(),
         extra=extra,
         mode=_MODE,
+        run_hash=_RUN_HASH,
     )
     return write_manifest_file(manifest, Path(directory) if directory is not None else obs_dir())
 

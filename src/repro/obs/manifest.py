@@ -12,7 +12,6 @@ directory; ``latest.json`` always mirrors the most recent one so
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import json
 import os
@@ -28,11 +27,17 @@ _git_sha_cache: Dict[str, Optional[str]] = {}
 
 
 def config_hash(config: Optional[Mapping]) -> Optional[str]:
-    """Stable content hash of a run configuration (sorted canonical JSON)."""
+    """Stable content hash of a run configuration.
+
+    Delegates to :func:`repro.runtime.canonical_hash` — the repo's one
+    hashing recipe, shared with the trace cache and the experiment
+    pipeline — so equal configurations hash equally everywhere.
+    """
     if config is None:
         return None
-    canonical = json.dumps(dict(config), sort_keys=True, separators=(",", ":"), default=str)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+    from .. import runtime
+
+    return runtime.canonical_hash(config)
 
 
 def git_sha(start: Optional[Path] = None) -> Optional[str]:
@@ -84,29 +89,15 @@ def _read_git_sha(path: Path) -> Optional[str]:
 def kernel_paths() -> Dict[str, bool]:
     """The hot-path dispatch toggles currently in effect.
 
-    Imported lazily so :mod:`repro.obs` stays import-cycle-free (the nn
-    and ran packages themselves import obs for instrumentation).
+    Reads :func:`repro.runtime.flags` (the single source of truth for
+    the fused-kernel / carrier-folding / vectorized-radio switches);
+    imported lazily so :mod:`repro.obs` stays import-cycle-free.
     """
-    paths: Dict[str, bool] = {}
     try:
-        from ..nn.modules import fused_kernels_enabled
-
-        paths["fused_kernels"] = fused_kernels_enabled()
+        from .. import runtime
     except ImportError:  # pragma: no cover - partial installs
-        pass
-    try:
-        from ..core.prism5g import batched_cc_enabled
-
-        paths["batched_cc"] = batched_cc_enabled()
-    except ImportError:  # pragma: no cover
-        pass
-    try:
-        from ..ran.simulator import vectorized_radio_enabled
-
-        paths["vectorized_radio"] = vectorized_radio_enabled()
-    except ImportError:  # pragma: no cover
-        pass
-    return paths
+        return {}
+    return runtime.flags()
 
 
 def build_manifest(
@@ -117,8 +108,15 @@ def build_manifest(
     metrics: Optional[Mapping] = None,
     extra: Optional[Mapping] = None,
     mode: Optional[str] = None,
+    run_hash: Optional[str] = None,
 ) -> Dict:
-    """Assemble the manifest dict (no I/O; see ``obs.write_manifest``)."""
+    """Assemble the manifest dict (no I/O; see ``obs.write_manifest``).
+
+    ``run_hash`` is the enclosing experiment's canonical config hash
+    (see :mod:`repro.pipeline`); every manifest written while a
+    pipeline run is active carries it, so stage artifacts, trace-cache
+    entries and manifests can all be joined on one identifier.
+    """
     return {
         "schema": MANIFEST_SCHEMA,
         "kind": kind,
@@ -129,6 +127,7 @@ def build_manifest(
         "seed": seed,
         "config": dict(config) if config is not None else None,
         "config_hash": config_hash(config),
+        "experiment_hash": run_hash,
         "kernel_paths": kernel_paths(),
         "metrics": dict(metrics) if metrics is not None else None,
         "history": dict(history) if history is not None else None,

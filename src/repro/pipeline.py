@@ -1,0 +1,615 @@
+"""repro.pipeline — config-driven, resumable experiment pipeline.
+
+One typed, JSON-serializable :class:`ExperimentConfig` is the single
+source of truth for an end-to-end paper run: the trace source (a
+Table 11 sub-dataset spec or a measurement campaign), the windowing
+parameters, the :class:`~repro.core.predictors.DeepConfig`, the
+split/seed protocol, the predictor line-up (resolved through the
+predictor registry), and the kernel-path dispatch flags
+(:mod:`repro.runtime`).  Its canonical content hash — computed with
+:func:`repro.runtime.canonical_hash`, the same recipe the trace cache
+and the obs manifests use — identifies the run everywhere:
+
+* the run directory is ``<out_dir>/<name>-<hash>``;
+* every stage marker and the final ``result.json`` embed the hash;
+* every obs manifest written during the run carries it
+  (``obs.run_context``);
+* the trace cache folds the runtime synthesis fingerprint into its
+  keys, so cached traces can never disagree with the configured
+  dispatch path.
+
+The run is composed of four :class:`Stage` objects::
+
+    Synthesize -> BuildDataset -> Train -> Evaluate
+
+Each stage persists a typed artifact (traces via
+:mod:`repro.data.cache`, the windowed dataset as ``.npz``, model
+checkpoints via :mod:`repro.nn.serialization` with a versioned
+metadata header, metrics as JSON) and records a completion marker.  A
+re-run of the same config skips every completed stage; a killed run
+resumes where it stopped — the train stage even resumes per predictor,
+skipping checkpoints that were already written.
+
+CLI entry point::
+
+    repro5g run experiment.json            # end-to-end
+    repro5g run experiment.json --force    # ignore completed stages
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import re
+import time
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from . import obs, runtime
+from .core.evaluation import EvaluationResult
+from .core.predictors import (
+    DeepConfig,
+    Predictor,
+    _DeepPredictor,
+    create_predictor,
+    registered_predictors,
+)
+from .data.cache import TraceCache
+from .data.datasets import (
+    MLDataset,
+    SubDatasetSpec,
+    load_dataset,
+    normalize_windows,
+    save_dataset,
+    subdataset_cache_config,
+)
+from .data.splits import random_split, trace_level_split
+from .data.windowing import WindowedDataset, window_traces
+from .ran.campaign import CampaignConfig, campaign_cache_config, run_campaign
+from .ran.traces import TraceSet
+
+#: folded into the experiment hash so semantic changes to the pipeline
+#: invalidate old run directories.
+EXPERIMENT_SCHEMA = "repro-experiment-v1"
+
+#: env override for the default run-artifact root.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+_VALID_OPERATORS = ("OpX", "OpY", "OpZ")
+_VALID_MOBILITY = ("walking", "driving")
+_VALID_TIMESCALES = ("short", "long")
+_VALID_SPLITS = ("random", "trace")
+_VALID_SOURCES = ("subdataset", "campaign")
+
+
+def default_runs_dir() -> Path:
+    import os
+
+    return Path(os.environ.get(RUNS_DIR_ENV) or "runs")
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]+", "_", name).strip("_").lower() or "x"
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to reproduce one end-to-end run.
+
+    JSON round-trips exactly (:meth:`to_dict` / :meth:`from_dict`), and
+    :meth:`hash` is a stable canonical content hash — two configs with
+    the same values hash identically regardless of construction order.
+    """
+
+    name: str = "experiment"
+    #: trace source: a Table 11 sub-dataset ("subdataset") or a full
+    #: measurement campaign ("campaign").
+    source: str = "subdataset"
+    operator: str = "OpZ"
+    mobility: str = "driving"
+    timescale: str = "long"
+    n_traces: int = 5
+    samples_per_trace: int = 200
+    #: :class:`~repro.ran.campaign.CampaignConfig` field overrides,
+    #: used only when ``source == "campaign"``.
+    campaign: Optional[Dict] = None
+    # windowing
+    history: int = 10
+    horizon: int = 10
+    max_ccs: int = 4
+    stride: int = 1
+    # protocol
+    predictors: Tuple[str, ...] = ("Prophet", "LSTM", "Prism5G")
+    split: str = "random"
+    seed: int = 0
+    deep: DeepConfig = field(default_factory=DeepConfig)
+    #: kernel-path dispatch flags applied for the whole run (defaults:
+    #: every fast path on — the production configuration).
+    runtime: Dict[str, bool] = field(
+        default_factory=lambda: {flag: True for flag in runtime.FLAG_NAMES}
+    )
+
+    def __post_init__(self) -> None:
+        if isinstance(self.deep, dict):
+            self.deep = DeepConfig(**self.deep)
+        self.predictors = tuple(self.predictors)
+        if self.source not in _VALID_SOURCES:
+            raise ValueError(f"source must be one of {_VALID_SOURCES}, got {self.source!r}")
+        if self.operator not in _VALID_OPERATORS:
+            raise ValueError(f"operator must be one of {_VALID_OPERATORS}, got {self.operator!r}")
+        if self.mobility not in _VALID_MOBILITY:
+            raise ValueError(f"mobility must be one of {_VALID_MOBILITY}, got {self.mobility!r}")
+        if self.timescale not in _VALID_TIMESCALES:
+            raise ValueError(
+                f"timescale must be one of {_VALID_TIMESCALES}, got {self.timescale!r}"
+            )
+        if self.split not in _VALID_SPLITS:
+            raise ValueError(f"split must be one of {_VALID_SPLITS}, got {self.split!r}")
+        if not self.predictors:
+            raise ValueError("predictors must name at least one registered predictor")
+        unknown = sorted(set(self.predictors) - set(registered_predictors()))
+        if unknown:
+            raise ValueError(
+                f"unknown predictor(s) {unknown}; registered predictors: {registered_predictors()}"
+            )
+        unknown_flags = sorted(set(self.runtime) - set(runtime.FLAG_NAMES))
+        if unknown_flags:
+            raise ValueError(
+                f"unknown runtime flag(s) {unknown_flags}; known flags: {list(runtime.FLAG_NAMES)}"
+            )
+        self.runtime = {
+            flag: bool(self.runtime.get(flag, True)) for flag in runtime.FLAG_NAMES
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> SubDatasetSpec:
+        return SubDatasetSpec(self.operator, self.mobility, self.timescale)
+
+    def campaign_config(self) -> CampaignConfig:
+        overrides = dict(self.campaign or {})
+        overrides.setdefault("seed", self.seed)
+        overrides.setdefault("dt_s", self.spec.dt_s)
+        for key in ("operators", "scenarios", "rats"):
+            if key in overrides:
+                overrides[key] = tuple(overrides[key])
+        return CampaignConfig(**overrides)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["predictors"] = list(self.predictors)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown experiment config key(s) {unknown}; valid keys: {sorted(known)}"
+            )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("experiment config must be a JSON object")
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentConfig":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def hash(self) -> str:
+        """Canonical content hash identifying this run everywhere."""
+        return runtime.canonical_hash(self.to_dict(), schema=EXPERIMENT_SCHEMA)
+
+
+# ---------------------------------------------------------------------------
+# pipeline context + stages
+
+
+@dataclass
+class StageStatus:
+    """Outcome of one stage execution."""
+
+    stage: str
+    status: str  #: "completed" or "skipped" (artifact already present)
+    artifact: Optional[str] = None
+    duration_s: float = 0.0
+    detail: Optional[Dict] = None
+
+
+class PipelineContext:
+    """Mutable state threaded through the stages of one run."""
+
+    def __init__(self, config: ExperimentConfig, run_dir: Path, force: bool = False) -> None:
+        self.config = config
+        self.run_dir = Path(run_dir)
+        self.force = force
+        self.hash = config.hash()
+        self.traces: Optional[TraceSet] = None
+        self.dataset: Optional[MLDataset] = None
+        self.predictors: Dict[str, Predictor] = {}
+        self.result: Optional[EvaluationResult] = None
+        self._splits: Optional[Tuple[WindowedDataset, ...]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def trace_cache(self) -> TraceCache:
+        return TraceCache(self.run_dir / "traces")
+
+    @property
+    def synth_config(self) -> Dict:
+        config = self.config
+        if config.source == "campaign":
+            return campaign_cache_config(config.campaign_config())
+        return subdataset_cache_config(
+            config.spec, config.n_traces, config.samples_per_trace, config.seed
+        )
+
+    def splits(self) -> Tuple[WindowedDataset, WindowedDataset, WindowedDataset]:
+        """The (train, val, test) split — deterministic in the config seed.
+
+        Cached per context; recomputed identically across processes and
+        across resumed runs, which is what lets the train and evaluate
+        stages agree on the protocol without persisting index arrays.
+        """
+        if self.dataset is None:
+            raise RuntimeError("dataset not built yet")
+        if self._splits is None:
+            splitter = random_split if self.config.split == "random" else trace_level_split
+            self._splits = splitter(self.dataset.windows, 0.5, 0.2, 0.3, seed=self.config.seed)
+        return self._splits
+
+    def marker_path(self, stage: str) -> Path:
+        return self.run_dir / "stages" / f"{stage}.json"
+
+    def read_marker(self, stage: str) -> Optional[Dict]:
+        try:
+            data = json.loads(self.marker_path(stage).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        # a marker from a different config (or pipeline version) does
+        # not count as completion — the hash is the contract
+        if not isinstance(data, dict) or data.get("experiment_hash") != self.hash:
+            return None
+        return data
+
+    def write_marker(self, stage: str, artifact: Optional[Path], detail: Optional[Dict] = None) -> None:
+        path = self.marker_path(stage)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "stage": stage,
+            "experiment_hash": self.hash,
+            "artifact": None if artifact is None else str(artifact),
+            "completed_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "detail": detail or {},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+class Stage:
+    """One resumable pipeline step persisting a typed artifact.
+
+    ``execute`` is template code: skip (loading the artifact) when the
+    completion marker and artifact are present for this exact config
+    hash, otherwise run and write the marker last — so a run killed
+    mid-stage re-runs that stage, and only that stage, on resume.
+    """
+
+    name = "stage"
+
+    def artifact(self, ctx: PipelineContext) -> Optional[Path]:
+        return None
+
+    def is_complete(self, ctx: PipelineContext) -> bool:
+        if ctx.read_marker(self.name) is None:
+            return False
+        artifact = self.artifact(ctx)
+        return artifact is None or artifact.exists()
+
+    def load(self, ctx: PipelineContext) -> None:
+        """Populate ``ctx`` from the persisted artifact (on skip)."""
+
+    def run(self, ctx: PipelineContext) -> Optional[Dict]:
+        """Do the work, persist the artifact; returns marker detail."""
+        raise NotImplementedError
+
+    def execute(self, ctx: PipelineContext) -> StageStatus:
+        with obs.span(f"pipeline.{self.name}", experiment=ctx.hash):
+            start = time.perf_counter()
+            if not ctx.force and self.is_complete(ctx):
+                self.load(ctx)
+                status = StageStatus(
+                    stage=self.name,
+                    status="skipped",
+                    artifact=_opt_str(self.artifact(ctx)),
+                    duration_s=time.perf_counter() - start,
+                    detail=(ctx.read_marker(self.name) or {}).get("detail"),
+                )
+            else:
+                detail = self.run(ctx)
+                ctx.write_marker(self.name, self.artifact(ctx), detail)
+                status = StageStatus(
+                    stage=self.name,
+                    status="completed",
+                    artifact=_opt_str(self.artifact(ctx)),
+                    duration_s=time.perf_counter() - start,
+                    detail=detail,
+                )
+            if obs.metrics_enabled():
+                obs.counter(f"pipeline.stage.{status.status}")
+        return status
+
+
+def _opt_str(path: Optional[Path]) -> Optional[str]:
+    return None if path is None else str(path)
+
+
+class SynthesizeStage(Stage):
+    """Synthesize the raw trace set into the run's trace cache."""
+
+    name = "synthesize"
+
+    def artifact(self, ctx: PipelineContext) -> Optional[Path]:
+        return ctx.trace_cache.path_for(ctx.synth_config)
+
+    def is_complete(self, ctx: PipelineContext) -> bool:
+        # the trace cache is itself content-addressed; its manifest is
+        # the completion signal (markers stay for uniform bookkeeping)
+        return ctx.read_marker(self.name) is not None and ctx.trace_cache.contains(ctx.synth_config)
+
+    def load(self, ctx: PipelineContext) -> None:
+        ctx.traces = ctx.trace_cache.get(ctx.synth_config)
+
+    def run(self, ctx: PipelineContext) -> Optional[Dict]:
+        config = ctx.config
+        if config.source == "campaign":
+            result = run_campaign(config.campaign_config(), cache=ctx.trace_cache)
+            ctx.traces = result.traces
+        else:
+            from .data.datasets import generate_traces
+
+            ctx.traces = generate_traces(
+                config.spec,
+                n_traces=config.n_traces,
+                samples_per_trace=config.samples_per_trace,
+                seed=config.seed,
+                cache=ctx.trace_cache,
+            )
+        return {
+            "n_traces": len(list(ctx.traces)),
+            "cache_key": ctx.trace_cache.path_for(ctx.synth_config).name,
+        }
+
+
+class BuildDatasetStage(Stage):
+    """Window + normalize the traces into the training dataset artifact."""
+
+    name = "build_dataset"
+
+    def artifact(self, ctx: PipelineContext) -> Optional[Path]:
+        return ctx.run_dir / "dataset.npz"
+
+    def load(self, ctx: PipelineContext) -> None:
+        ctx.dataset = load_dataset(self.artifact(ctx))
+
+    def run(self, ctx: PipelineContext) -> Optional[Dict]:
+        if ctx.traces is None:
+            raise RuntimeError("synthesize stage must run before build_dataset")
+        config = ctx.config
+        windows = window_traces(
+            list(ctx.traces), config.history, config.horizon, config.max_ccs, config.stride
+        )
+        dataset = normalize_windows(windows)
+        if config.source == "subdataset":
+            dataset.spec = config.spec
+        ctx.dataset = dataset
+        save_dataset(dataset, self.artifact(ctx))
+        return {"n_windows": len(windows), "n_ccs": int(windows.n_ccs)}
+
+
+class TrainStage(Stage):
+    """Fit every configured predictor; persist checkpoints as they finish.
+
+    Deep predictors are checkpointed through
+    :mod:`repro.nn.serialization` (versioned metadata header); the
+    classical/statistical ones are pickled.  Each predictor's artifact
+    is written immediately after its fit, so a killed run resumes with
+    only the unfitted predictors left to train.
+    """
+
+    name = "train"
+
+    def artifact(self, ctx: PipelineContext) -> Optional[Path]:
+        return ctx.run_dir / "checkpoints"
+
+    def checkpoint_path(self, ctx: PipelineContext, name: str) -> Path:
+        predictor = ctx.predictors.get(name) or create_predictor(name, ctx.config.deep)
+        suffix = ".npz" if isinstance(predictor, _DeepPredictor) else ".pkl"
+        return ctx.run_dir / "checkpoints" / f"{_slug(name)}{suffix}"
+
+    def is_complete(self, ctx: PipelineContext) -> bool:
+        return ctx.read_marker(self.name) is not None and all(
+            self.checkpoint_path(ctx, name).exists() for name in ctx.config.predictors
+        )
+
+    def _restore(self, ctx: PipelineContext, name: str, path: Path) -> Predictor:
+        predictor = create_predictor(name, ctx.config.deep)
+        if isinstance(predictor, _DeepPredictor):
+            predictor.load_checkpoint(path)
+        else:
+            with path.open("rb") as handle:
+                predictor = pickle.load(handle)
+        return predictor
+
+    def load(self, ctx: PipelineContext) -> None:
+        for name in ctx.config.predictors:
+            ctx.predictors[name] = self._restore(ctx, name, self.checkpoint_path(ctx, name))
+
+    def run(self, ctx: PipelineContext) -> Optional[Dict]:
+        if ctx.dataset is None:
+            raise RuntimeError("build_dataset stage must run before train")
+        train, val, _ = ctx.splits()
+        detail: Dict[str, Dict] = {}
+        for name in ctx.config.predictors:
+            path = self.checkpoint_path(ctx, name)
+            if path.exists() and not ctx.force:
+                # resume-after-kill: this predictor already finished
+                ctx.predictors[name] = self._restore(ctx, name, path)
+                detail[name] = {"status": "resumed"}
+                continue
+            with obs.span("pipeline.train.fit", predictor=name):
+                predictor = create_predictor(name, ctx.config.deep)
+                predictor.fit(train, val)
+            info: Dict = {"status": "fitted"}
+            if isinstance(predictor, _DeepPredictor):
+                predictor.save_checkpoint(path)
+                history = predictor.trainer.history if predictor.trainer else None
+                if history is not None:
+                    info["best_val_loss"] = history.best_val_loss
+                    info["epochs_run"] = history.epochs_run
+            else:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(path.suffix + ".tmp")
+                with tmp.open("wb") as handle:
+                    pickle.dump(predictor, handle)
+                tmp.replace(path)
+            ctx.predictors[name] = predictor
+            detail[name] = info
+        return detail
+
+
+class EvaluateStage(Stage):
+    """Score every fitted predictor on the held-out test split."""
+
+    name = "evaluate"
+
+    def artifact(self, ctx: PipelineContext) -> Optional[Path]:
+        return ctx.run_dir / "result.json"
+
+    def load(self, ctx: PipelineContext) -> None:
+        data = json.loads(self.artifact(ctx).read_text(encoding="utf-8"))
+        ctx.result = EvaluationResult(dataset_name=data["dataset"], rmse=data["rmse"])
+
+    def run(self, ctx: PipelineContext) -> Optional[Dict]:
+        if ctx.dataset is None or not ctx.predictors:
+            raise RuntimeError("train stage must run before evaluate")
+        config = ctx.config
+        train, val, test = ctx.splits()
+        dataset_name = (
+            ctx.dataset.spec.name if ctx.dataset.spec is not None else config.name
+        )
+        result = EvaluationResult(dataset_name=dataset_name)
+        for name in config.predictors:
+            with obs.span("pipeline.evaluate", predictor=name):
+                # Predictor.evaluate is the one definition of the paper
+                # metric (RMSE over the full horizon, nn.losses.rmse)
+                result.rmse[name] = ctx.predictors[name].evaluate(test)
+        ctx.result = result
+        payload = {
+            "experiment": config.name,
+            "experiment_hash": ctx.hash,
+            "dataset": dataset_name,
+            "split": config.split,
+            "seed": config.seed,
+            "n_train": len(train),
+            "n_val": len(val),
+            "n_test": len(test),
+            "rmse": result.rmse,
+        }
+        if "Prism5G" in result.rmse and len(result.rmse) > 1:
+            payload["improvement_pct"] = result.improvement_over_best_baseline()
+        artifact = self.artifact(ctx)
+        artifact.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        obs.write_manifest(
+            kind="experiment",
+            config=config.to_dict(),
+            seed=config.seed,
+            extra={"rmse": result.rmse, "run_dir": str(ctx.run_dir)},
+        )
+        return {"rmse": result.rmse}
+
+
+#: the canonical stage order of an end-to-end run.
+DEFAULT_STAGES: Tuple[Stage, ...] = (
+    SynthesizeStage(),
+    BuildDatasetStage(),
+    TrainStage(),
+    EvaluateStage(),
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything `run_experiment` hands back."""
+
+    config: ExperimentConfig
+    hash: str
+    run_dir: Path
+    stages: List[StageStatus]
+    rmse: Dict[str, float]
+
+    @property
+    def all_skipped(self) -> bool:
+        """True when every stage was a cache hit (nothing recomputed)."""
+        return all(stage.status == "skipped" for stage in self.stages)
+
+
+def run_dir_for(config: ExperimentConfig, out_dir: Union[str, Path, None] = None) -> Path:
+    """The run directory for a config: ``<out_dir>/<name>-<hash>``."""
+    return Path(out_dir) if out_dir is not None else default_runs_dir() / f"{_slug(config.name)}-{config.hash()}"
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    out_dir: Union[str, Path, None] = None,
+    force: bool = False,
+    stages: Optional[Sequence[Stage]] = None,
+) -> ExperimentResult:
+    """Execute (or resume) an experiment end to end.
+
+    The config's runtime flags are pinned for the duration of the run
+    (and restored afterwards); the experiment hash is exposed through
+    :class:`repro.obs.run_context` so every manifest written by nested
+    subsystems carries it.  ``force=True`` re-runs every stage even
+    when artifacts exist.
+    """
+    run_dir = run_dir_for(config, out_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    experiment_hash = config.hash()
+    config.save(run_dir / "experiment.json")
+    statuses: List[StageStatus] = []
+    with runtime.use(**config.runtime), obs.run_context(experiment_hash):
+        with obs.span("pipeline.run", experiment=experiment_hash, label=config.name):
+            ctx = PipelineContext(config, run_dir, force=force)
+            for stage in stages if stages is not None else DEFAULT_STAGES:
+                statuses.append(stage.execute(ctx))
+    rmse = dict(ctx.result.rmse) if ctx.result is not None else {}
+    summary = {
+        "experiment": config.name,
+        "experiment_hash": experiment_hash,
+        "run_dir": str(run_dir),
+        "stages": [asdict(status) for status in statuses],
+        "rmse": rmse,
+    }
+    (run_dir / "run.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    obs.flush()
+    return ExperimentResult(
+        config=config, hash=experiment_hash, run_dir=run_dir, stages=statuses, rmse=rmse
+    )

@@ -121,6 +121,15 @@ def _simulate_campaign_trace(job: Dict) -> Trace:
     return sim.run(job["duration_s"], route_id=job["route_id"])
 
 
+def campaign_cache_config(config: CampaignConfig) -> Dict:
+    """The trace-cache configuration for one campaign synthesis.
+
+    Shared by :func:`run_campaign` and the experiment pipeline's
+    synthesize stage so both derive the same cache key.
+    """
+    return {"kind": "campaign", **asdict(config)}
+
+
 def run_campaign(
     config: Optional[CampaignConfig] = None,
     cache: object = "auto",
@@ -179,9 +188,7 @@ def run_campaign(
         if trace_cache is None:
             traces = synthesize()
         else:
-            traces = trace_cache.get_or_create(
-                {"kind": "campaign", **asdict(config)}, synthesize
-            )
+            traces = trace_cache.get_or_create(campaign_cache_config(config), synthesize)
 
         all_traces = list(traces)
         grouped: Dict[Tuple[str, str, str], List[Trace]] = {}

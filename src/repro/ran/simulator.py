@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .. import obs
+from .. import obs, runtime
 from .bands import Band
 from .ca import CAManager
 from .cells import Cell, Deployment, build_deployment
@@ -55,13 +55,21 @@ _LOS_BLEND_M = 150.0
 #: co-channel activity factor: planned reuse + partial load.
 _CO_CHANNEL_ACTIVITY = 0.3
 
-# Vectorized per-step radio update (pathloss / shadowing mix / RSRP /
-# RSRQ / SINR / interference across all candidate cells as arrays).
-# The scalar per-cell loop is kept as the equivalence oracle; RNG draw
-# order is identical in both paths, but numpy's SIMD transcendentals
-# round differently from math.* in the last ulp, so traces match
-# per-field to tight tolerances rather than bit for bit.
-_VECTORIZED_RADIO = True
+def _set_vectorized_mirror(enabled: bool) -> None:
+    global _VECTORIZED_RADIO
+    _VECTORIZED_RADIO = enabled
+
+
+# Hot-loop mirror of ``runtime.flag("vectorized_radio")`` — vectorized
+# per-step radio update (pathloss / shadowing mix / RSRP / RSRQ / SINR /
+# interference across all candidate cells as arrays).  The scalar
+# per-cell loop is kept as the equivalence oracle; RNG draw order is
+# identical in both paths, but numpy's SIMD transcendentals round
+# differently from math.* in the last ulp, so traces match per-field to
+# tight tolerances rather than bit for bit.  The canonical value lives
+# in :mod:`repro.runtime` (and, because this flag changes trace values,
+# is folded into trace-cache keys via ``runtime.synthesis_fingerprint``).
+_VECTORIZED_RADIO = runtime.register_mirror("vectorized_radio", _set_vectorized_mirror)
 
 
 def vectorized_radio_enabled() -> bool:
@@ -70,11 +78,12 @@ def vectorized_radio_enabled() -> bool:
 
 
 def set_vectorized_radio(enabled: bool) -> bool:
-    """Toggle the vectorized radio update; returns the previous setting."""
-    global _VECTORIZED_RADIO
-    previous = _VECTORIZED_RADIO
-    _VECTORIZED_RADIO = bool(enabled)
-    return previous
+    """Toggle the vectorized radio update; returns the previous setting.
+
+    .. deprecated:: use ``repro.runtime.configure(vectorized_radio=...)``;
+       this shim delegates there so both APIs stay consistent.
+    """
+    return runtime.set_flag("vectorized_radio", enabled)
 
 
 class vectorized_radio:

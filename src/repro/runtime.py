@@ -1,0 +1,172 @@
+"""repro.runtime — single source of truth for kernel-path dispatch.
+
+The repo has three hot-path dispatch switches that grew up in three
+different modules:
+
+* ``fused_kernels`` — fused LSTM/GRU/affine autograd kernels vs the
+  op-by-op oracle (:mod:`repro.nn.modules`);
+* ``batched_cc`` — Prism5G's carrier-folded forward vs the per-CC
+  Python loop (:mod:`repro.core.prism5g`);
+* ``vectorized_radio`` — the simulator's array-based candidate radio
+  update vs the scalar per-cell loop (:mod:`repro.ran.simulator`).
+
+Each switch used to be an independent module global, which meant a
+cached trace set, a training run, and the manifest describing them
+could silently disagree about which code path produced what.  This
+module centralizes the state: the canonical flag values live here,
+every subsystem registers a *mirror* (a plain module global it reads
+in its hot loop, kept in sync by :func:`set_flag`), and the legacy
+setters (``set_fused_kernels`` & co.) survive as deprecated shims that
+delegate here.
+
+The same module owns the repo's one canonical content-hash helper,
+:func:`canonical_hash` (sorted-key compact JSON → SHA-256), used by the
+trace cache, the obs manifests, and the experiment pipeline — so one
+hash identifies a run everywhere.  Because ``vectorized_radio`` changes
+synthesized trace values (at the last-ulp level), the trace cache folds
+:func:`synthesis_fingerprint` into its keys; see
+:func:`repro.data.cache.cache_key`.
+
+Typical use::
+
+    from repro import runtime
+
+    runtime.configure(fused_kernels=False)       # flip one flag
+    with runtime.use(vectorized_radio=False):    # pin for a block
+        ...
+    runtime.flags()                              # {'fused_kernels': ..., ...}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Dict, List, Mapping, Optional
+
+#: every dispatch flag, in stable (sorted) order.
+FLAG_NAMES = ("batched_cc", "fused_kernels", "vectorized_radio")
+
+#: flags that change *synthesized trace values* (and therefore must be
+#: folded into the trace-cache key); the others only affect training
+#: and inference numerics of the nn stack.
+SYNTHESIS_FLAG_NAMES = ("vectorized_radio",)
+
+_FLAGS: Dict[str, bool] = {name: True for name in FLAG_NAMES}
+_MIRRORS: Dict[str, List[Callable[[bool], None]]] = {name: [] for name in FLAG_NAMES}
+
+
+def _check_name(name: str) -> None:
+    if name not in _FLAGS:
+        raise ValueError(f"unknown runtime flag {name!r}; known flags: {list(FLAG_NAMES)}")
+
+
+def flag(name: str) -> bool:
+    """Current value of one dispatch flag."""
+    _check_name(name)
+    return _FLAGS[name]
+
+
+def flags() -> Dict[str, bool]:
+    """Snapshot of every dispatch flag (insertion order = sorted names)."""
+    return dict(_FLAGS)
+
+
+def synthesis_fingerprint() -> Dict[str, bool]:
+    """The subset of flags that affect synthesized trace values."""
+    return {name: _FLAGS[name] for name in SYNTHESIS_FLAG_NAMES}
+
+
+def register_mirror(name: str, setter: Callable[[bool], None]) -> bool:
+    """Register a write-through mirror for ``name``; returns the current value.
+
+    Subsystem modules call this at import time with a setter that
+    updates their module-level global — hot loops keep reading a plain
+    global (no function call, no dict lookup) while this module stays
+    authoritative.  The returned value lets the caller initialize its
+    global in sync.
+    """
+    _check_name(name)
+    _MIRRORS[name].append(setter)
+    setter(_FLAGS[name])
+    return _FLAGS[name]
+
+
+def set_flag(name: str, enabled: bool) -> bool:
+    """Set one flag (and push it to every mirror); returns the previous value."""
+    _check_name(name)
+    previous = _FLAGS[name]
+    value = bool(enabled)
+    _FLAGS[name] = value
+    for setter in _MIRRORS[name]:
+        setter(value)
+    return previous
+
+
+def configure(**flag_values: Optional[bool]) -> Dict[str, bool]:
+    """Set any subset of flags by keyword; returns the *previous* snapshot.
+
+    ``None`` values are ignored so callers can pass optional CLI args
+    straight through::
+
+        previous = runtime.configure(fused_kernels=False)
+        ...
+        runtime.configure(**previous)   # restore
+    """
+    for name in flag_values:
+        _check_name(name)
+    previous = flags()
+    for name, value in flag_values.items():
+        if value is not None:
+            set_flag(name, value)
+    return previous
+
+
+class use:
+    """Context manager pinning any subset of flags, restoring on exit.
+
+    ::
+
+        with runtime.use(fused_kernels=False, batched_cc=False):
+            ...  # oracle paths active
+    """
+
+    def __init__(self, **flag_values: Optional[bool]) -> None:
+        for name in flag_values:
+            _check_name(name)
+        self.flag_values = flag_values
+        self._previous: Optional[Dict[str, bool]] = None
+
+    def __enter__(self) -> "use":
+        self._previous = configure(**self.flag_values)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._previous is not None:
+            configure(**self._previous)
+
+
+# ---------------------------------------------------------------------------
+# canonical content hashing
+
+
+def canonical_hash(payload: Mapping, schema: Optional[str] = None, length: int = 16) -> str:
+    """Stable content hash of a JSON-serializable configuration.
+
+    The payload is canonicalized (sorted keys, compact separators,
+    ``default=str`` for exotic values) and hashed with SHA-256; an
+    optional ``schema`` string is folded in so semantic changes to the
+    producing code can invalidate old hashes.  This is the *only*
+    hashing recipe in the repo — the trace cache, the obs manifests and
+    the experiment pipeline all delegate here, so equal configurations
+    hash equally everywhere.
+    """
+    data = dict(payload)
+    if schema is not None:
+        data = {"__schema__": schema, **data}
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:length]
+
+
+def runtime_hash() -> str:
+    """Canonical hash of the full flag snapshot (for manifests/debugging)."""
+    return canonical_hash(flags(), schema="repro-runtime-v1")

@@ -85,6 +85,48 @@ class TestTrainEvaluate:
     def test_evaluate_unknown_predictor(self, capsys):
         rc = main(["evaluate", "--predictors", "Oracle9000"])
         assert rc == 2
+        err = capsys.readouterr().err
+        assert "Oracle9000" in err and "Prism5G" in err
+
+    def test_evaluate_list_predictors(self, capsys):
+        rc = main(["evaluate", "--list-predictors"])
+        assert rc == 0
+        from repro.core import registered_predictors
+
+        out = capsys.readouterr().out.splitlines()
+        assert out == list(registered_predictors())
+
+
+class TestRun:
+    def test_run_twice_skips_second_time(self, tmp_path, capsys):
+        config = tmp_path / "exp.json"
+        config.write_text(
+            """{"name": "cli-tiny", "n_traces": 2, "samples_per_trace": 60,
+                "predictors": ["Prophet"], "deep": {"hidden": 8, "max_epochs": 2}}"""
+        )
+        out_dir = tmp_path / "run"
+        rc = main(["run", str(config), "--out-dir", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completed" in out and "Prophet" in out
+        assert (out_dir / "run.json").exists()
+
+        rc = main(["run", str(config), "--out-dir", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all stages skipped" in out
+
+    def test_run_missing_config_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["run", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_run_invalid_config_fails_cleanly(self, tmp_path, capsys):
+        config = tmp_path / "bad.json"
+        config.write_text('{"predictors": ["Oracle9000"]}')
+        rc = main(["run", str(config)])
+        assert rc == 2
+        assert "registered predictors" in capsys.readouterr().err
 
 
 class TestObs:

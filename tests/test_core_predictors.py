@@ -113,6 +113,16 @@ class TestEvaluationHarness:
         with pytest.raises(ValueError):
             result.improvement_over_best_baseline()
 
+    def test_unknown_include_raises_value_error(self):
+        with pytest.raises(ValueError, match="registered predictors") as exc:
+            make_default_predictors(FAST, include=["Prophet", "Oracle9000"])
+        assert "Oracle9000" in str(exc.value)
+        assert "Prism5G" in str(exc.value)
+
+    def test_include_accepts_ablations(self):
+        predictors = make_default_predictors(FAST, include=["Prism5G (no state)"])
+        assert predictors["Prism5G (no state)"].name == "Prism5G (no state)"
+
     def test_trace_split_protocol(self, dataset):
         result = evaluate_predictors(
             dataset,
