@@ -10,7 +10,7 @@ another's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -25,7 +25,7 @@ def pearson(a: np.ndarray, b: np.ndarray) -> float:
         raise ValueError("series must have equal length")
     if a.size < 2:
         raise ValueError("need at least 2 samples")
-    if a.std() == 0.0 or b.std() == 0.0:
+    if a.std() <= 0.0 or b.std() <= 0.0:  # std is non-negative; <= 0 means constant
         return 0.0
     return float(np.corrcoef(a, b)[0, 1])
 

@@ -7,7 +7,7 @@ Computes bits/s/Hz per channel under good channel conditions
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -47,7 +47,7 @@ def kde_peaks(
     samples = np.asarray(samples, dtype=np.float64).reshape(-1)
     if samples.size < 5:
         raise ValueError("need at least 5 samples for KDE")
-    if np.ptp(samples) == 0.0:
+    if np.ptp(samples) <= 0.0:  # ptp is non-negative; <= 0 means constant samples
         return [float(samples[0])]
     kde = scipy_stats.gaussian_kde(samples, bw_method=bandwidth)
     grid = np.linspace(samples.min(), samples.max(), grid_points)

@@ -15,7 +15,7 @@ the oracle ("ideal ViVo") that reads the actual future.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -113,7 +113,6 @@ class ViVoSimulator:
         stall_time = 0.0
         n_stalls = 0
         previous_quality: Optional[int] = None
-        deadline_steps = max(1, int(round(cfg.deadline_s / dt_s)))
 
         for frame in range(n_frames):
             start = int(frame * cfg.frame_interval_s / dt_s)

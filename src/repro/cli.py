@@ -14,6 +14,8 @@ Usage (also installed as the ``repro5g`` console script):
     python -m repro.cli train --obs trace --obs-dir .repro-obs ...
     python -m repro.cli obs report
     python -m repro.cli obs trace --chrome trace.json
+    python -m repro.cli lint --format json
+    python -m repro.cli lint --fix-catalog
 
 The ``--obs`` flag (or the ``REPRO_OBS`` env var) turns on the
 observability layer: ``metrics`` records counters/gauges/histograms and
@@ -27,10 +29,11 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from . import obs
 from .analysis import format_table
+from .lintkit.runner import add_lint_arguments, run_from_args as _run_lint
 from .core import DeepConfig, evaluate_predictors, make_default_predictors
 from .core.predictors import Prism5GPredictor, registered_predictors
 from .data import SubDatasetSpec, build_subdataset, random_split
@@ -209,6 +212,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _run_lint(args)
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     directory = Path(args.dir) if args.dir else obs.obs_dir()
     manifest = obs.latest_manifest(directory)
@@ -316,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--force", action="store_true", help="re-run every stage even if artifacts exist")
     _add_obs_args(run)
     run.set_defaults(func=_cmd_run)
+
+    lint = sub.add_parser("lint", help="run the repo's AST invariant checks (rules RL001-RL006)")
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     obs_cmd = sub.add_parser("obs", help="inspect observability output")
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)

@@ -7,7 +7,7 @@ Single entry point behind Table 4 (main comparison), Table 13
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ through one evaluation loop.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Optional, Type, Union
+from typing import Callable, Dict, List, Optional, Type
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from ..forecast.prophet import StructuralProphet
 from ..nn.losses import rmse
 from ..nn.modules import Linear, LSTM, LSTMCell, Module, TCN, fused_kernels_enabled
 from ..nn.serialization import load_state, read_checkpoint_metadata, save_state
-from ..nn.tensor import Tensor, concat, lstm_decoder_seq, stack
+from ..nn.tensor import Tensor, concat, lstm_decoder_seq
 from ..nn.training import Trainer
 from ..trees.boosting import GradientBoostingRegressor
 from ..trees.forest import RandomForestRegressor

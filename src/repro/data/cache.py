@@ -28,7 +28,7 @@ import json
 import os
 import shutil
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Union
+from typing import Callable, List, Mapping, Optional, Union
 
 from .. import obs, runtime
 from ..ran.traces import TraceSet

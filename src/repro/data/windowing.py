@@ -8,7 +8,7 @@ the 10 ms datasets and a 10 s horizon on the 1 s datasets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -1,0 +1,83 @@
+"""repro.lintkit — AST-based invariant checks for this codebase.
+
+The reproduction's correctness rests on conventions a generic linter
+cannot see: seeded-``Generator`` determinism (the fused/batched kernel
+oracles assert bit-identical outputs), :mod:`repro.runtime`'s
+write-through flag mirrors, the single canonical hash recipe, and the
+:mod:`repro.obs` metric/span namespace.  This package checks them
+statically (stdlib :mod:`ast` only) with a pluggable checker registry:
+
+========  ==================  ==================================================
+code      rule                invariant
+========  ==================  ==================================================
+RL001     determinism         no legacy ``np.random.*`` global-state calls; no
+                              argless ``default_rng()``
+RL002     flag-discipline     no value-imports of dispatch flags/mirror globals
+RL003     single-hash         ``hashlib`` only inside ``repro.runtime``
+RL004     exception-hygiene   broad ``except`` must re-raise or publish obs
+RL005     obs-catalog         obs names dotted-lowercase and catalogued in
+                              ``obs_catalog.json``
+RL006     float-equality      no ``==``/``!=`` on float expressions
+========  ==================  ==================================================
+
+Run it as ``repro5g lint`` or ``python -m repro.lintkit``; line-scoped
+opt-outs are ``# lint: bit-identical`` (RL006) and
+``# lint: disable=RL00X``.  See README "Static analysis" and DESIGN §6d.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    Checker,
+    Diagnostic,
+    FileContext,
+    dotted_name,
+    make_checkers,
+    parse_suppressions,
+    register,
+    registered_checkers,
+)
+from .catalog import (
+    CATALOG_SCHEMA,
+    ObsNameSite,
+    default_catalog_path,
+    harvest_module,
+    load_catalog,
+    valid_obs_name,
+    write_catalog,
+)
+from .runner import (
+    JSON_REPORT_SCHEMA,
+    LintResult,
+    build_context,
+    default_root,
+    lint_paths,
+    run_cli,
+)
+
+# importing the module registers RL001-RL006 in the checker registry
+from . import checkers as _checkers  # noqa: F401
+
+__all__ = [
+    "CATALOG_SCHEMA",
+    "Checker",
+    "Diagnostic",
+    "FileContext",
+    "JSON_REPORT_SCHEMA",
+    "LintResult",
+    "ObsNameSite",
+    "build_context",
+    "default_catalog_path",
+    "default_root",
+    "dotted_name",
+    "harvest_module",
+    "lint_paths",
+    "load_catalog",
+    "make_checkers",
+    "parse_suppressions",
+    "register",
+    "registered_checkers",
+    "run_cli",
+    "valid_obs_name",
+    "write_catalog",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.lintkit`` — run the invariant checks from anywhere."""
+
+from __future__ import annotations
+
+import sys
+
+from .runner import run_cli
+
+if __name__ == "__main__":
+    sys.exit(run_cli(prog="python -m repro.lintkit"))

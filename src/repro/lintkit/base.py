@@ -1,0 +1,165 @@
+"""Checker framework for :mod:`repro.lintkit`.
+
+A *checker* is one invariant: it owns a rule code (``RL001``…), walks a
+parsed module, and yields :class:`Diagnostic` records with precise
+``file:line:col`` positions.  Checkers register themselves in a module
+registry so the runner (and the tests) can enumerate them, and so new
+invariants are one decorated class away.
+
+Suppression is line-scoped and explicit in the source being linted::
+
+    x == 0.0  # lint: bit-identical          (silences RL006)
+    import hashlib  # lint: disable=RL003    (silences the listed codes)
+
+``# lint: disable=all`` silences every rule on that line.  The runner
+parses suppressions once per file and filters diagnostics centrally, so
+individual checkers never need to know about them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Type
+
+#: matches the whole suppression comment, e.g. ``# lint: disable=RL001,RL003``
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*(?P<directive>[A-Za-z0-9_=,\- ]+)")
+
+#: alias directives: ``# lint: bit-identical`` reads better than
+#: ``disable=RL006`` next to an oracle-equivalence comparison.
+_DIRECTIVE_ALIASES = {
+    "bit-identical": {"RL006"},
+}
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violation at an exact source position."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a checker needs to know about one source file."""
+
+    path: Path
+    display_path: str
+    module: str
+    #: the dotted package the module lives in (equals ``module`` for a
+    #: package ``__init__``); used to resolve relative imports.
+    package: str
+    source: str
+    tree: ast.AST
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        codes = self.suppressions.get(line)
+        if not codes:
+            return False
+        return code in codes or "all" in codes
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number → set of rule codes silenced on that line."""
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes: Set[str] = set()
+        for token in re.split(r"[,\s]+", match.group("directive").strip()):
+            if not token:
+                continue
+            if token in _DIRECTIVE_ALIASES:
+                codes |= _DIRECTIVE_ALIASES[token]
+            elif token.startswith("disable="):
+                for code in token[len("disable="):].split(","):
+                    code = code.strip()
+                    if code:
+                        codes.add("all" if code == "all" else code.upper())
+        if codes:
+            suppressed[lineno] = codes
+    return suppressed
+
+
+class Checker:
+    """Base class: one rule code, one ``check`` pass over a module AST."""
+
+    #: rule code, e.g. ``RL001`` (set by subclasses)
+    code: str = ""
+    #: short kebab-case rule name, e.g. ``determinism``
+    name: str = ""
+    #: one-line description shown by ``--list-rules`` and in docs
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the registry (keyed by code)."""
+    if not cls.code:
+        raise ValueError(f"checker {cls.__name__} has no rule code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate checker code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def registered_checkers() -> Dict[str, Type[Checker]]:
+    """Snapshot of the registry: rule code → checker class (sorted)."""
+    return {code: _REGISTRY[code] for code in sorted(_REGISTRY)}
+
+
+def make_checkers(only: Optional[Iterable[str]] = None) -> List[Checker]:
+    """Instantiate registered checkers (optionally a subset of codes)."""
+    registry = registered_checkers()
+    if only is None:
+        return [cls() for cls in registry.values()]
+    unknown = sorted(set(only) - set(registry))
+    if unknown:
+        raise ValueError(f"unknown rule codes {unknown}; known: {sorted(registry)}")
+    return [registry[code]() for code in sorted(set(only))]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

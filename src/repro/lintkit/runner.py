@@ -1,0 +1,261 @@
+"""File walking, checker orchestration and report formatting.
+
+:func:`lint_paths` is the one entry point: it walks the requested
+files/directories, parses each module once, runs every registered
+checker over the shared AST, filters line-scoped suppressions, then
+performs the cross-file RL005 catalog diff.  The CLI (``repro5g lint``
+and ``python -m repro.lintkit``) is a thin argparse wrapper around it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from . import catalog as _catalog
+from .base import (
+    Checker,
+    Diagnostic,
+    FileContext,
+    make_checkers,
+    parse_suppressions,
+    registered_checkers,
+)
+from .checkers import ObsCatalogChecker
+
+#: directories never descended into while walking lint roots
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".repro-obs", "build", "dist"})
+
+#: report format produced by ``--format=json``
+JSON_REPORT_SCHEMA = "repro-lint-report-v1"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory (works from any cwd)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def iter_python_files(roots: Sequence[Path]) -> Iterator[Path]:
+    for root in roots:
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for path in sorted(root.rglob("*.py")):
+            parts = set(path.parts)
+            if parts & _SKIP_DIRS or any(p.endswith(".egg-info") for p in path.parts):
+                continue
+            yield path
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name (``repro.ran.ca``) for files under a ``repro`` tree.
+
+    Files outside any ``repro`` package (e.g. test fixture snippets)
+    fall back to their stem so rules keyed on module identity
+    (RL002/RL003 exemptions) simply never match them.
+    """
+    resolved = path.resolve()
+    parts = list(resolved.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return ".".join(parts[i:])
+    return parts[-1] if parts else ""
+
+
+def build_context(path: Path, source: Optional[str] = None) -> FileContext:
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    module = module_name_for(path)
+    package = module if path.name == "__init__.py" else module.rpartition(".")[0]
+    try:
+        display = str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        display = str(path)
+    return FileContext(
+        path=path,
+        display_path=display,
+        module=module,
+        package=package,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+@dataclass
+class LintResult:
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    catalog_written: Optional[Path] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def to_json(self) -> str:
+        counts: dict = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        payload = {
+            "schema": JSON_REPORT_SCHEMA,
+            "files_checked": self.files_checked,
+            "ok": self.ok,
+            "counts": dict(sorted(counts.items())),
+            "diagnostics": [d.to_json() for d in sorted(self.diagnostics)],
+        }
+        return json.dumps(payload, indent=2)
+
+    def to_text(self) -> str:
+        lines = [d.format() for d in sorted(self.diagnostics)]
+        tail = (
+            f"{len(self.diagnostics)} violation(s) in {self.files_checked} file(s)"
+            if self.diagnostics
+            else f"ok: {self.files_checked} file(s) clean"
+        )
+        return "\n".join([*lines, tail])
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[str]] = None,
+    catalog_path: Optional[Path] = None,
+    catalog_mode: str = "check",
+    checkers: Optional[Sequence[Checker]] = None,
+) -> LintResult:
+    """Lint files/directories and return every surviving diagnostic.
+
+    ``catalog_mode`` is ``check`` (diff the RL005 harvest against the
+    checked-in catalog), ``fix`` (rewrite the catalog from the harvest)
+    or ``off`` (naming checks only — used by fixture tests whose
+    harvest would otherwise mark the real catalog stale).
+    """
+    roots = [Path(p) for p in paths] if paths else [default_root()]
+    if checkers is None:
+        checkers = make_checkers(rules)
+    result = LintResult()
+    for path in iter_python_files(roots):
+        try:
+            ctx = build_context(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.diagnostics.append(
+                Diagnostic(
+                    path=str(path),
+                    line=getattr(exc, "lineno", 1) or 1,
+                    col=1,
+                    code="RL000",
+                    message=f"could not parse file: {exc}",
+                )
+            )
+            continue
+        result.files_checked += 1
+        for checker in checkers:
+            for diagnostic in checker.check(ctx):
+                if not ctx.suppressed(diagnostic.line, diagnostic.code):
+                    result.diagnostics.append(diagnostic)
+
+    catalog_checker = next((c for c in checkers if isinstance(c, ObsCatalogChecker)), None)
+    if catalog_checker is not None and catalog_mode != "off":
+        resolved_catalog = catalog_path or _catalog.default_catalog_path()
+        if catalog_mode == "fix":
+            result.catalog_written = _catalog.write_catalog(
+                resolved_catalog, _catalog.aggregate(catalog_checker.sites)
+            )
+        else:
+            # a partial harvest (linting one file) cannot prove a catalog
+            # entry stale; only a run covering the package root can.
+            package_root = default_root().resolve()
+            check_stale = any(
+                root.resolve() == package_root or root.resolve() in package_root.parents
+                for root in roots
+            )
+            result.diagnostics.extend(
+                catalog_checker.drift_diagnostics(resolved_catalog, check_stale=check_stale)
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a parser (shared with ``repro5g lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--fix-catalog",
+        action="store_true",
+        help="regenerate lintkit/obs_catalog.json from the harvested obs names",
+    )
+    parser.add_argument(
+        "--catalog",
+        type=Path,
+        default=None,
+        help="alternate obs catalog path (default: the checked-in catalog)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def build_arg_parser(prog: str = "repro5g lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="AST-based invariant checks for the repro codebase (rules RL001-RL006)",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint invocation from a parsed namespace; returns exit code."""
+    if args.list_rules:
+        for code, cls in registered_checkers().items():
+            print(f"{code}  {cls.name:<18} {cls.summary}")
+        return 0
+    rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()] if args.rules else None
+    try:
+        result = lint_paths(
+            paths=args.paths or None,
+            rules=rules,
+            catalog_path=args.catalog,
+            catalog_mode="fix" if args.fix_catalog else "check",
+        )
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    print(result.to_json() if args.fmt == "json" else result.to_text())
+    if result.catalog_written is not None:
+        print(f"wrote {result.catalog_written}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+def run_cli(argv: Optional[Sequence[str]] = None, prog: str = "repro5g lint") -> int:
+    return run_from_args(build_arg_parser(prog).parse_args(argv))

@@ -12,7 +12,7 @@ Batch convention: sequence inputs are ``(batch, time, features)``.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -172,7 +172,7 @@ class Dropout(Module):
         self.rng = rng or np.random.default_rng(0)
 
     def forward(self, x: Tensor) -> Tensor:
-        if not self.training or self.p == 0.0:
+        if not self.training or self.p <= 0.0:  # p validated in [0, 1)
             return x
         mask = (self.rng.random(x.shape) >= self.p) / (1.0 - self.p)
         return x * Tensor(mask)

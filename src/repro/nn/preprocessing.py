@@ -30,7 +30,8 @@ class MinMaxScaler:
     @property
     def _range(self) -> np.ndarray:
         span = self.data_max - self.data_min
-        return np.where(span == 0.0, 1.0, span)
+        # span = max - min is non-negative; <= 0 marks constant features
+        return np.where(span <= 0.0, 1.0, span)
 
     def transform(self, x: np.ndarray) -> np.ndarray:
         self._check_fitted()
@@ -62,7 +63,7 @@ class StandardScaler:
         flat = x.reshape(-1, x.shape[-1])
         self.mean = flat.mean(axis=0)
         std = flat.std(axis=0)
-        self.std = np.where(std == 0.0, 1.0, std)
+        self.std = np.where(std <= 0.0, 1.0, std)  # std >= 0; <= 0 marks constants
         return self
 
     def transform(self, x: np.ndarray) -> np.ndarray:

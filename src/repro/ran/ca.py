@@ -21,9 +21,8 @@ Implements the RRC-level behaviour the paper dissects in §3-§4:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from .cells import Cell, Deployment
 from .ue import UECapability

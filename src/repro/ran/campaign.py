@@ -17,7 +17,6 @@ import numpy as np
 
 from .. import obs
 from ..parallel import parallel_map
-from .operators import OPERATORS, get_operator
 from .simulator import TraceSimulator
 from .traces import Trace, TraceSet
 

@@ -9,7 +9,7 @@ against it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from .bands import get_band
 from .phy import (

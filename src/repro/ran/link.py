@@ -16,7 +16,7 @@ from typing import Optional
 
 import numpy as np
 
-from .phy import MAX_CQI, cqi_from_sinr, mcs_from_cqi
+from .phy import cqi_from_sinr, mcs_from_cqi
 
 
 #: SINR thresholds (dB) above which each additional MIMO layer is usable.

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -156,7 +156,7 @@ class IndoorWalk(RandomWalk):
         self.room_m = area_m
 
     def step(self, dt_s: float, rng: np.random.Generator) -> UEState:
-        state = super().step(dt_s, rng)
+        super().step(dt_s, rng)  # advances self._position/_heading
         # keep within the building footprint around the anchor
         offset = self._position - self._anchor
         radius = float(np.linalg.norm(offset))

@@ -24,7 +24,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from .. import obs
-from .cells import Deployment, build_deployment
+from .cells import build_deployment
 from .mobility import MobilityModel, make_mobility
 from .operators import OperatorProfile, get_operator
 from .simulator import TraceSimulator

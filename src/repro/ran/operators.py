@@ -15,7 +15,7 @@ Paper Table 2 and Appendix A.1:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Tuple
 
 from .cells import ChannelPlan
 

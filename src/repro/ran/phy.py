@@ -15,7 +15,6 @@ Fig 9's TBS/MCS/#RE mapping.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, Tuple
 
 import numpy as np

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .. import obs, runtime
-from .bands import Band
 from .ca import CAManager
 from .cells import Cell, Deployment, build_deployment
 from .link import LinkAdapter

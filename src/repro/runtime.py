@@ -140,7 +140,7 @@ class use:
         self._previous = configure(**self.flag_values)
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._previous is not None:
             configure(**self._previous)
 

@@ -78,7 +78,7 @@ class DecisionTreeRegressor:
 
     def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
         node = _Node(value=float(y.mean()))
-        if depth >= self.max_depth or len(y) < self.min_samples_split or np.ptp(y) == 0.0:
+        if depth >= self.max_depth or len(y) < self.min_samples_split or np.ptp(y) <= 0.0:
             return node
         split = self._best_split(x, y)
         if split is None:
