@@ -18,6 +18,20 @@ and are compared per-field by the equivalence tests instead.  A
 ``stages_s`` section records per-stage micro-timings of each folded
 path against its loop oracle.
 
+Two sections cover the pluggable compute backends (``repro.backends``):
+``backends_s`` times the LSTM training phase and a 300-step simulator
+run once per registered backend that imports cleanly (``numpy`` always;
+``numba`` when installed) plus a ``legacy`` row with fused kernels and
+the vectorized radio off — the numpy-vs-numba delta is the JIT payoff,
+the legacy row keeps the pre-dispatch baseline visible.
+``arena_multitrace`` A/Bs the allocation-free training path: the same
+seeded full-batch workload fit once as per-trace kernel calls with the
+workspace arena off and once as a single stacked ``fit_traces`` pass
+with the arena on.  Both paths see identical rows in identical order,
+so their losses match step for step and the held-out predictions agree
+to tolerance — the speedup isolates dispatch amortization + buffer
+reuse, not a different training trajectory.
+
 Every phase is timed best-of-3 (training is seeded, so repeats do
 identical work): single-shot wall clocks on shared hosts are dominated
 by scheduler noise — the same code has measured 2-3x apart run to run.
@@ -158,6 +172,139 @@ def _stage_timings(dataset, params) -> Dict[str, float]:
     return stages
 
 
+def _backend_stage_timings(params, fit_lstm) -> Dict[str, Dict[str, float]]:
+    """Per-backend wall clocks for the LSTM training phase and a 300-step
+    simulator run: one row per registered backend that imports cleanly
+    (``numpy`` always, ``numba`` when installed), plus a ``legacy`` row
+    timed with fused kernels / the vectorized radio off.  CI's
+    optional-deps job reads the numpy-vs-numba delta from here.
+    """
+    from repro import backends, obs, runtime
+    from repro.nn.modules import fused_kernels
+    from repro.ran.simulator import TraceSimulator, vectorized_radio
+
+    def best_of(name, fn, repeat=3) -> float:
+        times = []
+        for _ in range(repeat):
+            with obs.span(f"bench.backend.{name}", force=True) as sp:
+                fn()
+            times.append(sp.duration_s)
+        return min(times)
+
+    def sim_run() -> None:
+        sim = TraceSimulator(operator=params["operator"], seed=11, dt_s=0.1)
+        sim.run(30.0)
+
+    table: Dict[str, Dict[str, float]] = {}
+    with fused_kernels(False), vectorized_radio(False):
+        table["legacy"] = {
+            "lstm_train": best_of("legacy.lstm_train", fit_lstm),
+            "sim_300_steps": best_of("legacy.sim_300_steps", sim_run),
+        }
+    for name in backends.available_backends():
+        with runtime.use(backend=name):
+            # warm the JIT cache outside the timed region so numba rows
+            # report steady-state kernels, not first-call compilation
+            sim_run()
+            table[name] = {
+                "lstm_train": best_of(f"{name}.lstm_train", fit_lstm),
+                "sim_300_steps": best_of(f"{name}.sim_300_steps", sim_run),
+            }
+    return table
+
+
+def _arena_multitrace_timings(params) -> Dict[str, object]:
+    """A/B the allocation-free multi-trace training path on numpy.
+
+    Both arms run the *same* seeded full-batch workload — identical rows
+    in identical order per optimizer step — so the trained models agree
+    to tolerance and the timing delta isolates the mechanics:
+
+    * **per_trace_split** — arena off; every batch forward runs one
+      kernel call per trace (N small ``(B, T, F)`` passes concatenated),
+      the pre-``fit_traces`` shape of many-small-traces training;
+    * **stacked_arena** — arena on; :meth:`Trainer.fit_traces` stacks
+      the traces so each fused kernel sweeps one ``(N*B, T, F)`` batch
+      and gate/activation scratch is recycled step over step.
+    """
+    from repro import obs, runtime
+    from repro.nn.modules import LSTM, Linear, Module
+    from repro.nn.tensor import Tensor, concat
+    from repro.nn.training import Trainer
+
+    n_traces, per_trace, time_steps, features = 6, 40, 20, 10
+    hidden, epochs = params["hidden"], 8
+
+    class _Head(Module):
+        def __init__(self) -> None:
+            super().__init__()
+            self.rnn = LSTM(features, hidden, rng=np.random.default_rng(1))
+            self.out = Linear(hidden, 1, rng=np.random.default_rng(2))
+
+        def forward(self, x):
+            out, _ = self.rnn(x)
+            return self.out(out[:, -1, :])
+
+    rng = np.random.default_rng(3)
+    traces = [
+        (rng.standard_normal((per_trace, time_steps, features)),
+         rng.standard_normal((per_trace, 1)))
+        for _ in range(n_traces)
+    ]
+    x_all = np.concatenate([x for x, _ in traces])
+    y_all = np.concatenate([y for _, y in traces])
+    x_test = rng.standard_normal((64, time_steps, features))
+
+    def split_forward(model, xb):
+        parts = [model(Tensor(xb[s : s + per_trace])) for s in range(0, len(xb), per_trace)]
+        return concat(parts, axis=0)
+
+    def make_trainer(split: bool) -> Trainer:
+        return Trainer(
+            _Head(), lr=0.01, batch_size=n_traces * per_trace,
+            max_epochs=epochs, patience=epochs,
+            forward_fn=split_forward if split else None, seed=0,
+        )
+
+    def fit_split() -> Trainer:
+        trainer = make_trainer(split=True)
+        with runtime.use(arena=False):
+            trainer.fit(x_all, y_all)
+        return trainer
+
+    def fit_stacked() -> Trainer:
+        trainer = make_trainer(split=False)
+        with runtime.use(arena=True):
+            trainer.fit_traces(traces)
+        return trainer
+
+    def best_of(name, fn, repeat=3):
+        best, result = float("inf"), None
+        for _ in range(repeat):
+            with obs.span(f"bench.arena.{name}", force=True) as sp:
+                result = fn()
+            best = min(best, sp.duration_s)
+        return best, result
+
+    split_s, split_trainer = best_of("per_trace_split", fit_split)
+    stacked_s, stacked_trainer = best_of("stacked_arena", fit_stacked)
+    match = bool(
+        np.allclose(
+            split_trainer.predict(x_test), stacked_trainer.predict(x_test),
+            rtol=1e-9, atol=1e-12,
+        )
+    )
+    return {
+        "n_traces": n_traces,
+        "windows_per_trace": per_trace,
+        "epochs": epochs,
+        "per_trace_split_s": round(split_s, 4),
+        "stacked_arena_s": round(stacked_s, 4),
+        "speedup": round(split_s / stacked_s, 2) if stacked_s > 0 else float("inf"),
+        "predictions_match": match,
+    }
+
+
 def _tune_allocator() -> None:
     """Raise glibc's mmap threshold so multi-MB activation buffers are
     recycled from the heap instead of being mmap'd and page-faulted anew
@@ -276,12 +423,21 @@ def run_workload(emit=print) -> Dict:
         and np.allclose(prism_pred, prism_pred_legacy, rtol=1e-9, atol=1e-12)
     )
     stages = _stage_timings(dataset, params)
+    backend_stages = _backend_stage_timings(params, fit_lstm)
+    arena_multitrace = _arena_multitrace_timings(params)
+
+    from repro import runtime
 
     record = {
-        "workload": params,
+        "workload": {**params, "backend": runtime.backend_name()},
         "legacy_s": {k: round(v, 4) for k, v in legacy.items()},
         "current_s": {k: round(v, 4) for k, v in current.items()},
         "stages_s": {k: round(v, 4) for k, v in stages.items()},
+        "backends_s": {
+            name: {k: round(v, 4) for k, v in row.items()}
+            for name, row in backend_stages.items()
+        },
+        "arena_multitrace": arena_multitrace,
         "speedup": round(legacy["end_to_end"] / current["end_to_end"], 2),
         "predictions_match": predictions_match,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -301,6 +457,16 @@ def run_workload(emit=print) -> Dict:
     ):
         ratio = stages[loop_key] / stages[fold_key] if stages[fold_key] > 0 else float("inf")
         emit(f"{fold_key:<24}{stages[loop_key]:>10.4f}{stages[fold_key]:>10.4f}{ratio:>8.1f}x")
+    emit("--- per-backend stage timings (seconds) ---")
+    emit(f"{'backend':<10}{'lstm_train':>12}{'sim_300_steps':>15}")
+    for name, row in record["backends_s"].items():
+        emit(f"{name:<10}{row['lstm_train']:>12.4f}{row['sim_300_steps']:>15.4f}")
+    amt = record["arena_multitrace"]
+    emit(
+        f"arena+multi-trace: per-trace split {amt['per_trace_split_s']:.4f}s vs "
+        f"stacked+arena {amt['stacked_arena_s']:.4f}s ({amt['speedup']:.2f}x), "
+        f"predictions match: {amt['predictions_match']}"
+    )
     obs.write_manifest(
         kind="bench",
         config=params,
@@ -311,6 +477,8 @@ def run_workload(emit=print) -> Dict:
             "legacy_s": record["legacy_s"],
             "current_s": record["current_s"],
             "stages_s": record["stages_s"],
+            "backends_s": record["backends_s"],
+            "arena_multitrace": record["arena_multitrace"],
         },
     )
     obs.flush()
@@ -478,6 +646,7 @@ try:
         record = run_once(benchmark, lambda: run_workload(emit=report.emit))
         results = save_results(record)
         assert record["predictions_match"]
+        assert record["arena_multitrace"]["predictions_match"]
         assert check_regression(results, emit=report.emit)
 
 except ImportError:  # pragma: no cover - script mode without pytest

@@ -24,18 +24,23 @@ Subpackages
 ``repro.runtime``
     Canonical kernel-path dispatch flags + the repo's one config-hash
     recipe (``runtime.configure(...)`` / ``runtime.use(...)``).
+``repro.backends``
+    Pluggable compute backends for the fused primitives (numpy
+    reference, optional numba JIT; ``backend`` flag / ``REPRO_BACKEND``)
+    plus the workspace arena for allocation-free training steps.
 ``repro.pipeline``
     Config-driven, resumable experiment pipeline
     (``repro5g run experiment.json``).
 """
 
-from . import analysis, apps, core, data, forecast, nn, obs, pipeline, ran, runtime, trees
+from . import analysis, apps, backends, core, data, forecast, nn, obs, pipeline, ran, runtime, trees
 
 __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
     "apps",
+    "backends",
     "core",
     "data",
     "forecast",

@@ -1,0 +1,201 @@
+"""Pluggable compute backends for the fused hot-path primitives.
+
+Every fused primitive in the repo — the LSTM/GRU sequence and cell
+kernels, the affine projection, the Seq2Seq decoder rollout
+(:mod:`repro.nn.kernels`) and the simulator's vectorized radio step
+(:mod:`repro.ran.simulator`) — dispatches through the backend object
+this package manages.  A backend is a module of pure ``ndarray ->
+ndarray`` functions (see :data:`PRIMITIVES`); the kernel layer keeps
+all autograd bookkeeping, so backends never see a ``Tensor``.
+
+Two backends ship:
+
+* ``numpy`` (:mod:`repro.backends.numpy_backend`) — the default and
+  reference implementation, extracted verbatim from the pre-refactor
+  fused kernels and therefore bit-identical to the loop oracles under
+  the existing property tests.
+* ``numba`` (:mod:`repro.backends.numba_backend`) — optional JIT
+  compilation of the LSTM/GRU gate loops and the simulator radio step.
+  When numba is not installed (or a name is unknown) resolution
+  *degrades gracefully* to numpy and publishes the
+  ``backend.fallback`` obs counter instead of failing the run.
+
+Selection follows the PR-4 write-through-mirror pattern: the canonical
+value is the ``backend`` runtime flag (:mod:`repro.runtime`, presetable
+with ``REPRO_BACKEND``); this package registers a mirror that resolves
+the *name* to a :class:`Backend` object once per flag change, so hot
+paths pay one attribute read per kernel call.  Both the requested name
+and the resolved name are stamped into run manifests
+(:func:`repro.obs.manifest.kernel_paths`).
+
+Backends may implement any subset of :data:`PRIMITIVES`; missing
+entries are inherited from the numpy backend per-primitive, so a
+compiled backend only overrides the loops it actually accelerates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .. import runtime
+from . import arena, numpy_backend
+
+__all__ = [
+    "Backend",
+    "PRIMITIVES",
+    "active",
+    "active_name",
+    "arena",
+    "available_backends",
+    "numpy_backend",
+    "register_backend",
+    "registered_backends",
+    "requested_name",
+]
+
+#: the dispatchable primitive set every backend may implement.
+PRIMITIVES = (
+    "affine_forward",
+    "affine_backward",
+    "lstm_cell_forward",
+    "lstm_cell_backward_h",
+    "lstm_cell_backward_c",
+    "gru_cell_forward",
+    "gru_cell_backward",
+    "lstm_seq_forward",
+    "lstm_seq_backward",
+    "gru_seq_forward",
+    "gru_seq_backward",
+    "lstm_decoder_forward",
+    "lstm_decoder_backward",
+    "radio_step",
+)
+
+
+class Backend:
+    """A resolved backend: one attribute per primitive, numpy-completed.
+
+    Primitives the implementing module does not define are inherited
+    from the numpy reference backend, so partial backends (a JIT that
+    only compiles the recurrent loops) stay drop-in.
+    """
+
+    __slots__ = ("name",) + PRIMITIVES
+
+    def __init__(self, name: str, module) -> None:
+        self.name = name
+        for fname in PRIMITIVES:
+            fn = getattr(module, fname, None)
+            if fn is None:
+                fn = getattr(numpy_backend, fname)
+            setattr(self, fname, fn)
+
+    def __repr__(self) -> str:
+        return f"Backend({self.name!r})"
+
+
+def _load_numba():
+    from . import numba_backend
+
+    if not numba_backend.AVAILABLE:
+        return None
+    return numba_backend
+
+
+#: name -> lazy loader returning the implementing module (or ``None``
+#: when its dependency is unavailable, triggering the numpy fallback).
+_REGISTRY: Dict[str, Callable[[], Optional[object]]] = {
+    "numpy": lambda: numpy_backend,
+    "numba": _load_numba,
+}
+
+_NUMPY = Backend("numpy", numpy_backend)
+_ACTIVE: Backend = _NUMPY
+_REQUESTED: str = "numpy"
+
+
+def register_backend(name: str, loader: Callable[[], Optional[object]]) -> None:
+    """Register a backend loader under ``name`` (lowercased).
+
+    ``loader`` returns the implementing module, or ``None`` if its
+    dependency is unavailable (resolution then falls back to numpy).
+    Re-registering a name replaces the loader; if the name is currently
+    selected, it is re-resolved immediately.
+    """
+    name = name.strip().lower()
+    if not name:
+        raise ValueError("backend name must be a non-empty string")
+    _REGISTRY[name] = loader
+    if name == _REQUESTED:
+        _set_backend_mirror(name)
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Every registered backend name (available or not), sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backends whose dependencies import, sorted."""
+    names = []
+    for name, loader in _REGISTRY.items():
+        try:
+            module = loader()
+        except ImportError:
+            module = None
+        if module is not None:
+            names.append(name)
+    return tuple(sorted(names))
+
+
+def _publish_fallback(requested: str, reason: str) -> None:
+    try:  # lazy: repro.obs must stay importable without repro.backends
+        from .. import obs
+
+        if obs.metrics_enabled():
+            obs.counter("backend.fallback")
+    except ImportError:  # pragma: no cover - partial installs
+        pass
+
+
+def _resolve(requested: str) -> Backend:
+    loader = _REGISTRY.get(requested)
+    if loader is None:
+        _publish_fallback(requested, "unknown backend")
+        return _NUMPY
+    try:
+        module = loader()
+    except ImportError:
+        module = None
+    if module is None:
+        _publish_fallback(requested, "backend unavailable")
+        return _NUMPY
+    if module is numpy_backend:
+        return _NUMPY
+    return Backend(requested, module)
+
+
+def _set_backend_mirror(requested: object) -> None:
+    global _ACTIVE, _REQUESTED
+    _REQUESTED = str(requested)
+    _ACTIVE = _resolve(_REQUESTED)
+
+
+# canonical value lives in repro.runtime ("backend" flag, REPRO_BACKEND
+# env); this mirror resolves name -> Backend once per flag change.
+runtime.register_mirror("backend", _set_backend_mirror)
+
+
+def active() -> Backend:
+    """The resolved backend object hot paths dispatch through."""
+    return _ACTIVE
+
+
+def active_name() -> str:
+    """The *resolved* backend name (numpy when a fallback occurred)."""
+    return _ACTIVE.name
+
+
+def requested_name() -> str:
+    """The backend name the runtime flag asked for (pre-fallback)."""
+    return _REQUESTED

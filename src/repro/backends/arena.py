@@ -1,0 +1,172 @@
+"""Workspace arena: step-scoped reuse of kernel scratch buffers.
+
+A training step allocates the same gate/activation/grad scratch arrays
+every batch — for the fused LSTM kernel alone that is a dozen
+multi-megabyte ``np.empty`` calls per step, all with identical shapes
+step after step.  The arena keeps one pool of buffers per
+``(shape, dtype)`` key and hands them out sequentially within a *step
+window*; :func:`begin_step` rewinds every pool cursor so the next step
+recycles the same memory.
+
+Lifetime rules (see DESIGN.md §6e):
+
+* A buffer is valid from the :func:`empty`/:func:`zeros` call until the
+  next :func:`begin_step`.  Kernels may only pool *internal scratch*
+  whose lifetime ends with the step — forward activations consumed by
+  the same step's backward qualify; anything that escapes as
+  ``Tensor.data`` (layer outputs, final states) must stay freshly
+  allocated, because downstream code may hold those arrays across
+  steps (``Trainer.predict`` collects them without copying).
+* Outside a step window the arena is inactive and every call is a plain
+  ``np.empty`` — library code can call into the kernels at any time
+  without coordinating with a trainer.
+* :class:`~repro.nn.training.Trainer` owns the step windows: it calls
+  :func:`begin_step` before each batch and :func:`end_run` when a fit
+  or predict pass finishes.
+
+Memory reuse never changes floating-point math — the same expressions
+write into recycled storage — so the numpy backend stays bit-identical
+with the arena on or off.  The ``arena`` runtime flag
+(:mod:`repro.runtime`) disables pooling globally for A/B timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from .. import runtime
+
+ShapeLike = Union[int, Tuple[int, ...]]
+
+
+def _set_arena_mirror(enabled: object) -> None:
+    global _ARENA_ENABLED
+    _ARENA_ENABLED = bool(enabled)
+
+
+#: hot-loop mirror of ``runtime.flag("arena")`` — whether step windows
+#: activate pooling at all.  The canonical value lives in
+#: :mod:`repro.runtime`.
+_ARENA_ENABLED = runtime.register_mirror("arena", _set_arena_mirror)
+
+
+def arena_enabled() -> bool:
+    """Whether the ``arena`` runtime flag is on (pooling may activate)."""
+    return bool(_ARENA_ENABLED)
+
+
+class Workspace:
+    """One pool of reusable scratch buffers, keyed by ``(shape, dtype)``.
+
+    Within a step window, repeated requests for the same key return
+    *distinct* buffers (a per-key cursor advances), so a kernel may ask
+    for several same-shaped temporaries.  ``begin_step`` rewinds all
+    cursors; buffers are never freed until :meth:`clear`.
+    """
+
+    __slots__ = ("_pools", "_cursors", "active", "steps", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._pools: Dict[Tuple, List[np.ndarray]] = {}
+        self._cursors: Dict[Tuple, int] = {}
+        self.active = False
+        self.steps = 0
+        self.hits = 0
+        self.misses = 0
+
+    def begin_step(self) -> None:
+        """Open a step window (no-op pooling if the flag is off)."""
+        if not _ARENA_ENABLED:
+            self.active = False
+            return
+        self.active = True
+        self.steps += 1
+        for key in self._cursors:
+            self._cursors[key] = 0
+
+    def end_run(self) -> None:
+        """Close the current window; subsequent calls allocate fresh."""
+        self.active = False
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (and deactivate)."""
+        self._pools.clear()
+        self._cursors.clear()
+        self.active = False
+        self.hits = 0
+        self.misses = 0
+        self.steps = 0
+
+    def empty(self, shape: ShapeLike, dtype=np.float64) -> np.ndarray:
+        """An uninitialized buffer, pooled when a step window is open."""
+        if not self.active:
+            return np.empty(shape, dtype=dtype)
+        if isinstance(shape, int):
+            shape = (shape,)
+        key = (tuple(int(s) for s in shape), np.dtype(dtype).str)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = self._pools[key] = []
+            self._cursors[key] = 0
+        cursor = self._cursors[key]
+        self._cursors[key] = cursor + 1
+        if cursor < len(pool):
+            self.hits += 1
+            return pool[cursor]
+        self.misses += 1
+        buf = np.empty(key[0], dtype=dtype)
+        pool.append(buf)
+        return buf
+
+    def zeros(self, shape: ShapeLike, dtype=np.float64) -> np.ndarray:
+        """A zero-filled buffer, pooled when a step window is open."""
+        buf = self.empty(shape, dtype=dtype)
+        buf.fill(0.0)
+        return buf
+
+    def stats(self) -> Dict[str, int]:
+        """Pool counters (for tests and the perf bench)."""
+        return {
+            "pools": len(self._pools),
+            "buffers": sum(len(p) for p in self._pools.values()),
+            "bytes": sum(b.nbytes for p in self._pools.values() for b in p),
+            "steps": self.steps,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: the process-wide workspace used by the compute backends.
+_WORKSPACE = Workspace()
+
+
+def workspace() -> Workspace:
+    """The process-wide :class:`Workspace`."""
+    return _WORKSPACE
+
+
+def begin_step() -> None:
+    """Open a step window on the process-wide workspace."""
+    _WORKSPACE.begin_step()
+
+
+def end_run() -> None:
+    """Close the process-wide step window."""
+    _WORKSPACE.end_run()
+
+
+def clear() -> None:
+    """Drop all pooled buffers from the process-wide workspace."""
+    _WORKSPACE.clear()
+
+
+def empty(shape: ShapeLike, dtype=np.float64) -> np.ndarray:
+    """Step-scoped scratch buffer (module-level convenience)."""
+    return _WORKSPACE.empty(shape, dtype)
+
+
+def zeros(shape: ShapeLike, dtype=np.float64) -> np.ndarray:
+    """Step-scoped zeroed scratch buffer (module-level convenience)."""
+    return _WORKSPACE.zeros(shape, dtype)

@@ -1,0 +1,489 @@
+"""Optional numba-JIT backend: compiled gate loops and radio step.
+
+Compiles the three hot recurrent loops — the LSTM sequence kernel, the
+GRU sequence kernel, and the simulator's per-step radio update — with
+``numba.njit`` (``fastmath`` off: IEEE semantics, no reassociation).
+Everything else (the wide GEMMs, the decoder rollout, the cells, the
+affine projection) inherits the numpy reference implementations through
+the per-primitive fallback in :class:`repro.backends.Backend`.
+
+Compiled transcendentals round differently from numpy's SIMD ufuncs in
+the last ulp, so this backend is *not* bit-identical to the oracles;
+its contract is the tolerance-based equivalence suite
+(``tests/test_backends.py``).  For the same reason the ``backend`` flag
+is part of :func:`repro.runtime.synthesis_fingerprint` — traces
+synthesized under numba get their own cache entries.
+
+When numba is not installed this module still imports (``AVAILABLE``
+is ``False``) and the registry resolves the ``numba`` name back to
+numpy, publishing the ``backend.fallback`` obs counter.  Inputs that
+are not float64 (the float32 inference path) are delegated to numpy —
+the JIT kernels are specialized for float64.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from . import arena, numpy_backend
+
+name = "numba"
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit
+
+    AVAILABLE = True
+except ImportError:  # numba absent: registry falls back to numpy
+    AVAILABLE = False
+
+    def njit(*args, **kwargs):  # keeps the decorated defs importable
+        def wrap(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return wrap
+
+
+_F64 = np.float64
+
+
+def _all_f64(*arrays: np.ndarray) -> bool:
+    return all(a.dtype == _F64 for a in arrays)
+
+
+# ----------------------------------------------------------------------
+# LSTM sequence kernel
+# ----------------------------------------------------------------------
+@njit(cache=False)
+def _lstm_seq_fwd_jit(gx, h0, c0, w_hh, bias, out_tm, act, c_hist):
+    time, batch, four_h = gx.shape
+    hidden = four_h // 4
+    h = h0.copy()
+    c = c0.copy()
+    for t in range(time):
+        gates = np.dot(h, w_hh)
+        for b in range(batch):
+            for k in range(four_h):
+                gates[b, k] += gx[t, b, k] + bias[k]
+        for b in range(batch):
+            for j in range(hidden):
+                zi = gates[b, j]
+                zf = gates[b, hidden + j]
+                zg = gates[b, 2 * hidden + j]
+                zo = gates[b, 3 * hidden + j]
+                i_v = 1.0 / (1.0 + math.exp(-min(max(zi, -60.0), 60.0)))
+                f_v = 1.0 / (1.0 + math.exp(-min(max(zf, -60.0), 60.0)))
+                g_v = math.tanh(zg)
+                o_v = 1.0 / (1.0 + math.exp(-min(max(zo, -60.0), 60.0)))
+                c_hist[t, b, j] = c[b, j]
+                c_new = f_v * c[b, j] + i_v * g_v
+                tc = math.tanh(c_new)
+                act[t, 0, b, j] = i_v
+                act[t, 1, b, j] = f_v
+                act[t, 2, b, j] = g_v
+                act[t, 3, b, j] = o_v
+                act[t, 4, b, j] = tc
+                c[b, j] = c_new
+                h[b, j] = o_v * tc
+                out_tm[t, b, j] = h[b, j]
+    return c
+
+
+@njit(cache=False)
+def _lstm_seq_bwd_jit(g_out, act, c_hist, w_hh_t, dc, dg_tm):
+    time, batch, hidden = g_out.shape
+    dh_carry = np.zeros((batch, hidden), dtype=np.float64)
+    for t in range(time - 1, -1, -1):
+        for b in range(batch):
+            for j in range(hidden):
+                i_v = act[t, 0, b, j]
+                f_v = act[t, 1, b, j]
+                g_v = act[t, 2, b, j]
+                o_v = act[t, 3, b, j]
+                tc = act[t, 4, b, j]
+                dh = g_out[t, b, j] + dh_carry[b, j]
+                dc_v = dc[b, j] + dh * (o_v * (1.0 - tc * tc))
+                dg_tm[t, b, j] = (dc_v * g_v) * i_v * (1.0 - i_v)
+                dg_tm[t, b, hidden + j] = (dc_v * c_hist[t, b, j]) * f_v * (1.0 - f_v)
+                dg_tm[t, b, 2 * hidden + j] = (dc_v * i_v) * (1.0 - g_v * g_v)
+                dg_tm[t, b, 3 * hidden + j] = (dh * tc) * o_v * (1.0 - o_v)
+                dc[b, j] = dc_v * f_v
+        dh_carry = np.dot(dg_tm[t], w_hh_t)
+    return dh_carry
+
+
+def lstm_seq_forward(
+    x: np.ndarray,
+    h0: np.ndarray,
+    c0: np.ndarray,
+    weight_ih: np.ndarray,
+    weight_hh: np.ndarray,
+    bias: np.ndarray,
+    requires: bool,
+) -> Tuple[np.ndarray, np.ndarray, Dict]:
+    if not _all_f64(x, h0, c0, weight_ih, weight_hh, bias):
+        return numpy_backend.lstm_seq_forward(x, h0, c0, weight_ih, weight_hh, bias, requires)
+    batch, time, features = x.shape
+    hidden = weight_hh.shape[0]
+    x_tm = arena.empty((time, batch, features))
+    np.copyto(x_tm, x.transpose(1, 0, 2))
+    gx = arena.empty((time * batch, 4 * hidden))
+    np.matmul(x_tm.reshape(time * batch, -1), weight_ih, out=gx)
+    gx = gx.reshape(time, batch, 4 * hidden)
+    out_tm = arena.empty((time, batch, hidden))
+    act = arena.empty((time, 5, batch, hidden))
+    c_hist = arena.empty((time, batch, hidden))
+    c = _lstm_seq_fwd_jit(
+        gx,
+        np.ascontiguousarray(h0),
+        np.ascontiguousarray(c0),
+        np.ascontiguousarray(weight_hh),
+        np.ascontiguousarray(bias),
+        out_tm,
+        act,
+        c_hist,
+    )
+    outputs = np.ascontiguousarray(out_tm.transpose(1, 0, 2))  # escapes
+    saved = {
+        "x_tm": x_tm,
+        "out_tm": out_tm,
+        "act": act,
+        "c_hist": c_hist,
+        "dtype": np.dtype(_F64),
+        "dims": (batch, time, hidden),
+        "numba": True,
+    }
+    return outputs, np.ascontiguousarray(c), saved
+
+
+def lstm_seq_backward(
+    g_out_bm: np.ndarray,
+    dc_T: Optional[np.ndarray],
+    saved: Dict,
+    x: np.ndarray,
+    h0: np.ndarray,
+    weight_ih: np.ndarray,
+    weight_hh: np.ndarray,
+    needs: Dict[str, bool],
+) -> Dict[str, np.ndarray]:
+    if not saved.get("numba"):  # forward delegated to numpy (dtype path)
+        return numpy_backend.lstm_seq_backward(
+            g_out_bm, dc_T, saved, x, h0, weight_ih, weight_hh, needs
+        )
+    batch, time, hidden = saved["dims"]
+    act, c_hist = saved["act"], saved["c_hist"]
+    x_tm, out_tm = saved["x_tm"], saved["out_tm"]
+    g_out = arena.empty((time, batch, hidden))
+    np.copyto(g_out, np.asarray(g_out_bm, dtype=_F64).transpose(1, 0, 2))
+    dc = np.zeros((batch, hidden)) if dc_T is None else np.ascontiguousarray(dc_T)
+    dg_tm = arena.empty((time, batch, 4 * hidden))
+    dh_carry = _lstm_seq_bwd_jit(
+        g_out, act, c_hist, np.ascontiguousarray(weight_hh.T), dc, dg_tm
+    )
+    grads: Dict[str, np.ndarray] = {}
+    if needs["h0"]:
+        grads["h0"] = dh_carry.copy()
+    if needs["c0"]:
+        grads["c0"] = dc
+    flat_g = dg_tm.reshape(time * batch, 4 * hidden)
+    if needs["x"]:
+        dx_flat = arena.empty((time * batch, x.shape[-1]))
+        np.matmul(flat_g, weight_ih.T, out=dx_flat)
+        grads["x"] = dx_flat.reshape(time, batch, -1).transpose(1, 0, 2)
+    if needs["weight_ih"]:
+        grads["weight_ih"] = x_tm.reshape(time * batch, -1).T @ flat_g
+    if needs["weight_hh"]:
+        h_prev = arena.empty((time, batch, hidden))
+        h_prev[0] = h0
+        h_prev[1:] = out_tm[:-1]
+        grads["weight_hh"] = h_prev.reshape(time * batch, hidden).T @ flat_g
+    if needs["bias"]:
+        grads["bias"] = flat_g.sum(axis=0)
+    return grads
+
+
+# ----------------------------------------------------------------------
+# GRU sequence kernel
+# ----------------------------------------------------------------------
+@njit(cache=False)
+def _gru_seq_fwd_jit(gx, nx, h0, w_hh, bias, w_hn, bias_n, out_tm, r_all, z_all, n_all, rh_all, h_prev_all):
+    time, batch, two_h = gx.shape
+    hidden = two_h // 2
+    h = h0.copy()
+    for t in range(time):
+        gates = np.dot(h, w_hh)
+        for b in range(batch):
+            for k in range(two_h):
+                gates[b, k] += gx[t, b, k] + bias[k]
+        rh = np.empty((batch, hidden), dtype=np.float64)
+        for b in range(batch):
+            for j in range(hidden):
+                r_v = 1.0 / (1.0 + math.exp(-min(max(gates[b, j], -60.0), 60.0)))
+                r_all[t, b, j] = r_v
+                rh[b, j] = r_v * h[b, j]
+                rh_all[t, b, j] = rh[b, j]
+        npre = np.dot(rh, w_hn)
+        for b in range(batch):
+            for j in range(hidden):
+                z_v = 1.0 / (1.0 + math.exp(-min(max(gates[b, hidden + j], -60.0), 60.0)))
+                n_v = math.tanh(nx[t, b, j] + npre[b, j] + bias_n[j])
+                z_all[t, b, j] = z_v
+                n_all[t, b, j] = n_v
+                h_prev_all[t, b, j] = h[b, j]
+                h[b, j] = (1.0 - z_v) * n_v + z_v * h[b, j]
+                out_tm[t, b, j] = h[b, j]
+
+
+@njit(cache=False)
+def _gru_seq_bwd_jit(g_out, r_all, z_all, n_all, h_prev_all, w_hh_t, w_hn_t, dg_tm, dn_tm):
+    time, batch, hidden = g_out.shape
+    dh_carry = np.zeros((batch, hidden), dtype=np.float64)
+    for t in range(time - 1, -1, -1):
+        dh = g_out[t] + dh_carry
+        for b in range(batch):
+            for j in range(hidden):
+                r_v = r_all[t, b, j]
+                z_v = z_all[t, b, j]
+                n_v = n_all[t, b, j]
+                h_prev = h_prev_all[t, b, j]
+                dz = dh[b, j] * (h_prev - n_v)
+                dnp = (dh[b, j] * (1.0 - z_v)) * (1.0 - n_v * n_v)
+                dn_tm[t, b, j] = dnp
+                dg_tm[t, b, hidden + j] = dz * z_v * (1.0 - z_v)
+        drh = np.dot(dn_tm[t], w_hn_t)
+        for b in range(batch):
+            for j in range(hidden):
+                r_v = r_all[t, b, j]
+                dg_tm[t, b, j] = (drh[b, j] * h_prev_all[t, b, j]) * r_v * (1.0 - r_v)
+        carry = np.dot(dg_tm[t], w_hh_t)
+        for b in range(batch):
+            for j in range(hidden):
+                dh_carry[b, j] = dh[b, j] * z_all[t, b, j] + drh[b, j] * r_all[t, b, j] + carry[b, j]
+    return dh_carry
+
+
+def gru_seq_forward(
+    x: np.ndarray,
+    h0: np.ndarray,
+    weight_ih: np.ndarray,
+    weight_hh: np.ndarray,
+    bias: np.ndarray,
+    weight_in: np.ndarray,
+    weight_hn: np.ndarray,
+    bias_n: np.ndarray,
+    requires: bool,
+) -> Tuple[np.ndarray, Dict]:
+    if not _all_f64(x, h0, weight_ih, weight_hh, bias, weight_in, weight_hn, bias_n):
+        return numpy_backend.gru_seq_forward(
+            x, h0, weight_ih, weight_hh, bias, weight_in, weight_hn, bias_n, requires
+        )
+    batch, time, features = x.shape
+    hidden = weight_hh.shape[0]
+    x_tm = arena.empty((time, batch, features))
+    np.copyto(x_tm, x.transpose(1, 0, 2))
+    flat_x = x_tm.reshape(time * batch, features)
+    gx = arena.empty((time * batch, 2 * hidden))
+    np.matmul(flat_x, weight_ih, out=gx)
+    nx = arena.empty((time * batch, hidden))
+    np.matmul(flat_x, weight_in, out=nx)
+    out_tm = arena.empty((time, batch, hidden))
+    r_all = arena.empty((time, batch, hidden))
+    z_all = arena.empty((time, batch, hidden))
+    n_all = arena.empty((time, batch, hidden))
+    rh_all = arena.empty((time, batch, hidden))
+    h_prev_all = arena.empty((time, batch, hidden))
+    _gru_seq_fwd_jit(
+        gx.reshape(time, batch, 2 * hidden),
+        nx.reshape(time, batch, hidden),
+        np.ascontiguousarray(h0),
+        np.ascontiguousarray(weight_hh),
+        np.ascontiguousarray(bias),
+        np.ascontiguousarray(weight_hn),
+        np.ascontiguousarray(bias_n),
+        out_tm,
+        r_all,
+        z_all,
+        n_all,
+        rh_all,
+        h_prev_all,
+    )
+    outputs = np.ascontiguousarray(out_tm.transpose(1, 0, 2))  # escapes
+    saved = {
+        "x_tm": x_tm,
+        "r_all": r_all,
+        "z_all": z_all,
+        "n_all": n_all,
+        "rh_all": rh_all,
+        "h_prev_all": h_prev_all,
+        "dims": (batch, time, hidden),
+        "numba": True,
+    }
+    return outputs, saved
+
+
+def gru_seq_backward(
+    g_out: np.ndarray,
+    saved: Dict,
+    x: np.ndarray,
+    weight_ih: np.ndarray,
+    weight_hh: np.ndarray,
+    weight_in: np.ndarray,
+    weight_hn: np.ndarray,
+    needs: Dict[str, bool],
+) -> Dict[str, np.ndarray]:
+    if not saved.get("numba"):
+        return numpy_backend.gru_seq_backward(
+            g_out, saved, x, weight_ih, weight_hh, weight_in, weight_hn, needs
+        )
+    batch, time, hidden = saved["dims"]
+    r_all, z_all, n_all = saved["r_all"], saved["z_all"], saved["n_all"]
+    rh_all, h_prev_all = saved["rh_all"], saved["h_prev_all"]
+    x_tm = saved["x_tm"]
+    g_tm = arena.empty((time, batch, hidden))
+    np.copyto(g_tm, np.asarray(g_out, dtype=_F64).transpose(1, 0, 2))
+    dg_tm = arena.empty((time, batch, 2 * hidden))
+    dn_tm = arena.empty((time, batch, hidden))
+    dh_carry = _gru_seq_bwd_jit(
+        g_tm,
+        r_all,
+        z_all,
+        n_all,
+        h_prev_all,
+        np.ascontiguousarray(weight_hh.T),
+        np.ascontiguousarray(weight_hn.T),
+        dg_tm,
+        dn_tm,
+    )
+    grads: Dict[str, np.ndarray] = {}
+    if needs["h0"]:
+        grads["h0"] = dh_carry
+    flat_g = dg_tm.reshape(time * batch, 2 * hidden)
+    flat_n = dn_tm.reshape(time * batch, hidden)
+    flat_x = x_tm.reshape(time * batch, -1)
+    if needs["x"]:
+        dx_flat = arena.empty((time * batch, x.shape[-1]))
+        np.matmul(flat_g, weight_ih.T, out=dx_flat)
+        dx2 = arena.empty((time * batch, x.shape[-1]))
+        np.matmul(flat_n, weight_in.T, out=dx2)
+        np.add(dx_flat, dx2, out=dx_flat)
+        grads["x"] = dx_flat.reshape(time, batch, -1).transpose(1, 0, 2)
+    if needs["weight_ih"]:
+        grads["weight_ih"] = flat_x.T @ flat_g
+    if needs["weight_hh"]:
+        grads["weight_hh"] = h_prev_all.reshape(time * batch, hidden).T @ flat_g
+    if needs["bias"]:
+        grads["bias"] = flat_g.sum(axis=0)
+    if needs["weight_in"]:
+        grads["weight_in"] = flat_x.T @ flat_n
+    if needs["weight_hn"]:
+        grads["weight_hn"] = rh_all.reshape(time * batch, hidden).T @ flat_n
+    if needs["bias_n"]:
+        grads["bias_n"] = flat_n.sum(axis=0)
+    return grads
+
+
+# ----------------------------------------------------------------------
+# simulator radio step
+# ----------------------------------------------------------------------
+@njit(cache=False)
+def _radio_step_jit(
+    pos_x,
+    pos_y,
+    indoor,
+    los_mode,
+    cand_pos,
+    cand_freq,
+    per_re_tx,
+    noise_mw,
+    nrb,
+    nrb_db,
+    indoor_pen,
+    interf_mask,
+    shadows,
+    fadings,
+    los_blend_m,
+    co_activity,
+):
+    n = cand_pos.shape[0]
+    rsrp = np.empty(n, dtype=np.float64)
+    sinr = np.empty(n, dtype=np.float64)
+    rsrq = np.empty(n, dtype=np.float64)
+    received_mw = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        dx = cand_pos[i, 0] - pos_x
+        dy = cand_pos[i, 1] - pos_y
+        d = math.sqrt(dx * dx + dy * dy)
+        d_eff = d if d > 10.0 else 10.0
+        lg_d = math.log10(d_eff)
+        lg_f = math.log10(cand_freq[i] / 1e3)
+        # TR 38.901 UMa, same simplified expressions as repro.ran.propagation
+        pl_los = 28.0 + 22.0 * lg_d + 20.0 * lg_f
+        pl_nlos = 13.54 + 39.08 * lg_d + 20.0 * lg_f
+        if indoor:
+            w = 0.0
+        elif los_mode == 1:
+            w = 1.0
+        elif los_mode == 0:
+            w = 0.0
+        else:
+            w = math.exp(-d / los_blend_m)
+        pl = w * pl_los + (1.0 - w) * pl_nlos
+        w_i = 0.0 if indoor else math.exp(-d / los_blend_m)
+        pl_i = w_i * pl_los + (1.0 - w_i) * pl_nlos
+        if indoor:
+            pl += indoor_pen[i]
+            pl_i += indoor_pen[i]
+        rsrp[i] = per_re_tx[i] - pl - shadows[i] + fadings[i]
+        received_mw[i] = co_activity * 10.0 ** ((per_re_tx[i] - pl_i) / 10.0)
+    for i in range(n):
+        acc = 0.0
+        for j in range(n):
+            acc += interf_mask[i, j] * received_mw[j]
+        signal_mw = 10.0 ** (rsrp[i] / 10.0)
+        sinr[i] = 10.0 * math.log10(signal_mw / (noise_mw[i] + acc))
+        rssi_mw = (signal_mw + noise_mw[i] + acc) * 12.0 * nrb[i]
+        rsrq[i] = nrb_db[i] + rsrp[i] - 10.0 * math.log10(rssi_mw)
+    return rsrp, sinr, rsrq
+
+
+def radio_step(
+    position: np.ndarray,
+    indoor: bool,
+    force_los: Optional[bool],
+    shadows: np.ndarray,
+    fadings: np.ndarray,
+    cand_pos: np.ndarray,
+    cand_freq: np.ndarray,
+    cand_per_re_tx: np.ndarray,
+    cand_noise_mw: np.ndarray,
+    cand_nrb: np.ndarray,
+    cand_nrb_db: np.ndarray,
+    cand_indoor_pen: np.ndarray,
+    interf_mask: np.ndarray,
+    los_blend_m: float,
+    co_channel_activity: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    los_mode = -1 if force_los is None else (1 if force_los else 0)
+    position = np.asarray(position, dtype=_F64)
+    return _radio_step_jit(
+        float(position[0]),
+        float(position[1]),
+        bool(indoor),
+        los_mode,
+        np.ascontiguousarray(cand_pos),
+        np.ascontiguousarray(cand_freq),
+        np.ascontiguousarray(cand_per_re_tx),
+        np.ascontiguousarray(cand_noise_mw),
+        np.ascontiguousarray(cand_nrb),
+        np.ascontiguousarray(cand_nrb_db),
+        np.ascontiguousarray(cand_indoor_pen),
+        np.ascontiguousarray(interf_mask),
+        np.ascontiguousarray(shadows),
+        np.ascontiguousarray(fadings),
+        float(los_blend_m),
+        float(co_channel_activity),
+    )

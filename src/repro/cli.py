@@ -31,7 +31,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from . import obs
+from . import obs, runtime
 from .analysis import format_table
 from .lintkit.runner import add_lint_arguments, run_from_args as _run_lint
 from .core import DeepConfig, evaluate_predictors, make_default_predictors
@@ -56,9 +56,23 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help=(
+            "compute backend for the fused kernels (e.g. numpy, numba; "
+            "overrides REPRO_BACKEND; unknown/unavailable names fall "
+            "back to numpy)"
+        ),
+    )
+
+
 def _configure_obs(args: argparse.Namespace) -> None:
     if getattr(args, "obs", None) is not None or getattr(args, "obs_dir", None) is not None:
         obs.configure(mode=args.obs, directory=args.obs_dir)
+    if getattr(args, "backend", None) is not None:
+        runtime.configure(backend=args.backend)
 
 
 def _add_common_sim_args(parser: argparse.ArgumentParser) -> None:
@@ -272,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="synthesize one CA trace")
     _add_common_sim_args(sim)
     _add_obs_args(sim)
+    _add_backend_arg(sim)
     sim.add_argument("--rat", default="5G", choices=["4G", "5G"])
     sim.add_argument("--nsa", action="store_true", help="EN-DC dual connectivity")
     sim.add_argument("--dt", type=float, default=1.0)
@@ -289,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--seed", type=int, default=0)
     camp.add_argument("--out-dir", default=None, help="write traces as JSONL here")
     _add_obs_args(camp)
+    _add_backend_arg(camp)
     camp.set_defaults(func=_cmd_campaign)
 
     def _add_ml_args(p: argparse.ArgumentParser) -> None:
@@ -301,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epochs", type=int, default=40)
         p.add_argument("--seed", type=int, default=0)
         _add_obs_args(p)
+        _add_backend_arg(p)
 
     train = sub.add_parser("train", help="train Prism5G on a sub-dataset")
     _add_ml_args(train)
@@ -322,9 +339,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out-dir", default=None, help="run directory (default: runs/<name>-<hash>)")
     run.add_argument("--force", action="store_true", help="re-run every stage even if artifacts exist")
     _add_obs_args(run)
+    _add_backend_arg(run)
     run.set_defaults(func=_cmd_run)
 
-    lint = sub.add_parser("lint", help="run the repo's AST invariant checks (rules RL001-RL006)")
+    lint = sub.add_parser("lint", help="run the repo's AST invariant checks (rules RL001-RL007)")
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
 

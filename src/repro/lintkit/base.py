@@ -31,6 +31,7 @@ _SUPPRESS_RE = re.compile(r"#\s*lint:\s*(?P<directive>[A-Za-z0-9_=,\- ]+)")
 #: ``disable=RL006`` next to an oracle-equivalence comparison.
 _DIRECTIVE_ALIASES = {
     "bit-identical": {"RL006"},
+    "backend-impl": {"RL007"},
 }
 
 

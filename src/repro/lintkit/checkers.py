@@ -141,6 +141,8 @@ _MIRROR_MODULES: Dict[str, FrozenSet[str]] = {
     "repro.nn.modules": frozenset({"_FUSED_KERNELS"}),
     "repro.core.prism5g": frozenset({"_BATCHED_CC"}),
     "repro.ran.simulator": frozenset({"_VECTORIZED_RADIO"}),
+    "repro.backends": frozenset({"_ACTIVE", "_REQUESTED"}),
+    "repro.backends.arena": frozenset({"_ARENA_ENABLED"}),
 }
 
 #: flag names are additionally rejected as import targets from
@@ -149,7 +151,7 @@ _MIRROR_MODULES: Dict[str, FrozenSet[str]] = {
 #: mirror modules legitimately export same-named *callables* — e.g.
 #: ``repro.nn.modules.fused_kernels`` is a context manager — so only
 #: their private mirror globals are forbidden there.)
-_FLAG_NAMES = frozenset({"fused_kernels", "batched_cc", "vectorized_radio"})
+_FLAG_NAMES = frozenset({"arena", "backend", "fused_kernels", "batched_cc", "vectorized_radio"})
 
 
 def _resolve_relative(ctx: FileContext, node: ast.ImportFrom) -> Optional[str]:
@@ -401,3 +403,66 @@ class FloatEqualityChecker(Checker):
                         "`# lint: bit-identical` for oracle-equivalence checks",
                     )
                     break
+
+
+# ---------------------------------------------------------------------------
+# RL007 — backend dispatch discipline
+
+
+#: modules holding the fused-primitive *dispatch* layer: autograd
+#: bookkeeping only; array math belongs in a registered compute backend
+#: (repro.backends.*), where the backend-equivalence suites can see it.
+_KERNEL_DISPATCH_MODULES = frozenset({"repro.nn.kernels"})
+
+#: np.* calls that allocate, wrap, or introspect without computing —
+#: legitimate in the dispatch layer (gradient seeds, dtype plumbing).
+_NP_NONCOMPUTE = frozenset(
+    {
+        "asarray",
+        "ascontiguousarray",
+        "broadcast_to",
+        "can_cast",
+        "dtype",
+        "empty",
+        "empty_like",
+        "ones",
+        "ones_like",
+        "result_type",
+        "shape",
+        "zeros",
+        "zeros_like",
+    }
+)
+
+
+@register
+class BackendDisciplineChecker(Checker):
+    code = "RL007"
+    name = "backend-discipline"
+    summary = (
+        "fused-kernel dispatch modules must not call np.* compute ops; "
+        "array math belongs in a registered backend "
+        "(# lint: backend-impl opts out)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if ctx.module not in _KERNEL_DISPATCH_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[0] not in ("np", "numpy") or len(parts) < 2:
+                continue
+            if parts[-1] in _NP_NONCOMPUTE:
+                continue
+            yield self.diag(
+                ctx,
+                node,
+                f"np compute call {dotted}() in a kernel dispatch module; "
+                "move the math into a repro.backends backend (or mark the "
+                "line `# lint: backend-impl` if it is backend-neutral)",
+            )

@@ -521,674 +521,30 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 # ----------------------------------------------------------------------
 # Fused sequence kernels
 #
-# The op-by-op LSTM/GRU cell composition records ~15 graph nodes per
-# timestep (two matmuls, adds, four slices, four nonlinearities, the
-# elementwise state update).  The kernels below compute the same numpy
-# expressions — in the same evaluation order, so forward values are
-# bit-identical — but record one or two nodes per step with a
-# hand-written, fully vectorized backward.
+# The fused primitives (affine, lstm_cell, gru_cell, lstm_seq, gru_seq,
+# lstm_decoder_seq) live in :mod:`repro.nn.kernels`: autograd
+# bookkeeping there, array math in the active compute backend
+# (:mod:`repro.backends`).  They are re-exported lazily below so
+# ``from repro.nn.tensor import lstm_seq`` keeps working without an
+# import cycle (kernels imports this module at load time).
 # ----------------------------------------------------------------------
-def _sigmoid_np(x: np.ndarray) -> np.ndarray:
-    """Same clipped logistic as :meth:`Tensor.sigmoid` (bit-identical).
-
-    ``minimum(maximum(x, lo), hi)`` selects the exact same values as
-    ``np.clip`` (NaNs propagate identically) while skipping np.clip's
-    dispatch overhead, which dominates the sequence kernels' step loops.
-    """
-    return 1.0 / (1.0 + np.exp(-np.minimum(np.maximum(x, -60.0), 60.0)))
-
-
-def _sigmoid_into(x: np.ndarray, out: np.ndarray) -> np.ndarray:
-    """:func:`_sigmoid_np` evaluated in place into ``out``.
-
-    Same FP operation sequence (clamp, negate, exp, +1, reciprocal), so
-    results are bit-identical — but with zero temporaries, which is what
-    the sequence kernels' step loops are bound by.
-    """
-    np.maximum(x, -60.0, out=out)
-    np.minimum(out, 60.0, out=out)
-    np.negative(out, out=out)
-    np.exp(out, out=out)
-    np.add(out, 1.0, out=out)
-    np.reciprocal(out, out=out)
-    return out
+_KERNEL_EXPORTS = (
+    "affine",
+    "gru_cell",
+    "gru_seq",
+    "lstm_cell",
+    "lstm_decoder_seq",
+    "lstm_seq",
+)
 
 
-def _as_tensor(value) -> Tensor:
-    return value if isinstance(value, Tensor) else Tensor(value)
+def __getattr__(name: str):
+    if name in _KERNEL_EXPORTS:
+        from . import kernels
 
+        return getattr(kernels, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-def _weight_grad(inp: np.ndarray, g: np.ndarray, weight_shape: Tuple[int, ...]) -> np.ndarray:
-    """dW for ``out = inp @ W`` with ``inp (..., F)`` and ``g (..., O)``."""
-    f, o = weight_shape
-    return inp.reshape(-1, f).T @ g.reshape(-1, o)
-
-
-def affine(
-    x: Tensor,
-    weight: Tensor,
-    bias: Optional[Tensor] = None,
-    h: Optional[Tensor] = None,
-    weight_h: Optional[Tensor] = None,
-) -> Tensor:
-    """Fused ``x @ weight [+ h @ weight_h] [+ bias]`` as one graph node.
-
-    Replaces the 2-3 node chain an op-by-op composition would record.
-    Weights must be 2-D ``(in, out)``; ``x``/``h`` may carry leading
-    batch/time axes.
-    """
-    x = _as_tensor(x)
-    weight = _as_tensor(weight)
-    if (h is None) != (weight_h is None):
-        raise ValueError("h and weight_h must be passed together")
-    value = x.data @ weight.data
-    if h is not None:
-        h = _as_tensor(h)
-        weight_h = _as_tensor(weight_h)
-        value = value + h.data @ weight_h.data
-    if bias is not None:
-        bias = _as_tensor(bias)
-        value = value + bias.data
-    operands = [t for t in (x, weight, h, weight_h, bias) if t is not None]
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in operands)
-    out = Tensor(value, requires_grad=requires, _parents=tuple(operands) if requires else ())
-    if not requires:
-        return out
-
-    def _backward() -> None:
-        g = out.grad
-        if x.requires_grad:
-            x._accumulate(g @ weight.data.T)
-        if weight.requires_grad:
-            weight._accumulate(_weight_grad(x.data, g, weight.shape))
-        if h is not None:
-            if h.requires_grad:
-                h._accumulate(g @ weight_h.data.T)
-            if weight_h.requires_grad:
-                weight_h._accumulate(_weight_grad(h.data, g, weight_h.shape))
-        if bias is not None and bias.requires_grad:
-            bias._accumulate(_unbroadcast(g, bias.shape))
-
-    out._backward = _backward
-    return out
-
-
-def lstm_cell(
-    x: Tensor,
-    h_prev: Tensor,
-    c_prev: Tensor,
-    weight_ih: Tensor,
-    weight_hh: Tensor,
-    bias: Tensor,
-) -> Tuple[Tensor, Tensor]:
-    """Fused LSTM step (gates packed ``[i, f, g, o]``): two graph nodes.
-
-    Returns ``(h, c)``.  ``c`` is recorded as ``h``'s parent so the
-    output-gate gradient computed in ``h``'s backward can be folded into
-    the single gate-gradient matmul of ``c``'s backward.
-    """
-    x, h_prev, c_prev = _as_tensor(x), _as_tensor(h_prev), _as_tensor(c_prev)
-    hidden = weight_hh.data.shape[0]
-    gates = x.data @ weight_ih.data + h_prev.data @ weight_hh.data + bias.data
-    i = _sigmoid_np(gates[:, 0 * hidden : 1 * hidden])
-    f = _sigmoid_np(gates[:, 1 * hidden : 2 * hidden])
-    g_in = np.tanh(gates[:, 2 * hidden : 3 * hidden])
-    o = _sigmoid_np(gates[:, 3 * hidden : 4 * hidden])
-    c_val = f * c_prev.data + i * g_in
-    tanh_c = np.tanh(c_val)
-    h_val = o * tanh_c
-
-    parents = (x, h_prev, c_prev, weight_ih, weight_hh, bias)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
-    c_out = Tensor(c_val, requires_grad=requires, _parents=parents if requires else ())
-    h_out = Tensor(h_val, requires_grad=requires, _parents=(c_out,) if requires else ())
-    if not requires:
-        return h_out, c_out
-
-    shared: dict = {}
-
-    def _h_backward() -> None:
-        gh = h_out.grad
-        c_out._accumulate(gh * (o * (1.0 - tanh_c * tanh_c)))
-        shared["d_o"] = gh * tanh_c
-
-    def _c_backward() -> None:
-        gc = c_out.grad
-        d_gates = np.empty_like(gates)
-        d_gates[:, 0 * hidden : 1 * hidden] = (gc * g_in) * i * (1.0 - i)
-        d_gates[:, 1 * hidden : 2 * hidden] = (gc * c_prev.data) * f * (1.0 - f)
-        d_gates[:, 2 * hidden : 3 * hidden] = (gc * i) * (1.0 - g_in * g_in)
-        d_o = shared.pop("d_o", None)
-        if d_o is None:  # h was not part of the loss; only c flowed onward
-            d_gates[:, 3 * hidden : 4 * hidden] = 0.0
-        else:
-            d_gates[:, 3 * hidden : 4 * hidden] = d_o * o * (1.0 - o)
-        if c_prev.requires_grad:
-            c_prev._accumulate(gc * f)
-        if x.requires_grad:
-            x._accumulate(d_gates @ weight_ih.data.T)
-        if h_prev.requires_grad:
-            h_prev._accumulate(d_gates @ weight_hh.data.T)
-        if weight_ih.requires_grad:
-            weight_ih._accumulate(x.data.T @ d_gates)
-        if weight_hh.requires_grad:
-            weight_hh._accumulate(h_prev.data.T @ d_gates)
-        if bias.requires_grad:
-            bias._accumulate(d_gates.sum(axis=0))
-
-    h_out._backward = _h_backward
-    c_out._backward = _c_backward
-    return h_out, c_out
-
-
-def gru_cell(
-    x: Tensor,
-    h_prev: Tensor,
-    weight_ih: Tensor,
-    weight_hh: Tensor,
-    bias: Tensor,
-    weight_in: Tensor,
-    weight_hn: Tensor,
-    bias_n: Tensor,
-) -> Tensor:
-    """Fused GRU step (gates packed ``[r, z]``): one graph node."""
-    x, h_prev = _as_tensor(x), _as_tensor(h_prev)
-    hidden = weight_hh.data.shape[0]
-    gates = x.data @ weight_ih.data + h_prev.data @ weight_hh.data + bias.data
-    r = _sigmoid_np(gates[:, :hidden])
-    z = _sigmoid_np(gates[:, hidden:])
-    rh = r * h_prev.data
-    n = np.tanh(x.data @ weight_in.data + rh @ weight_hn.data + bias_n.data)
-    h_val = (1.0 - z) * n + z * h_prev.data
-
-    parents = (x, h_prev, weight_ih, weight_hh, bias, weight_in, weight_hn, bias_n)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
-    out = Tensor(h_val, requires_grad=requires, _parents=parents if requires else ())
-    if not requires:
-        return out
-
-    def _backward() -> None:
-        gh = out.grad
-        dz = gh * (h_prev.data - n)
-        dn_pre = (gh * (1.0 - z)) * (1.0 - n * n)
-        drh = dn_pre @ weight_hn.data.T
-        d_gates = np.empty_like(gates)
-        d_gates[:, :hidden] = (drh * h_prev.data) * r * (1.0 - r)
-        d_gates[:, hidden:] = dz * z * (1.0 - z)
-        if x.requires_grad:
-            x._accumulate(d_gates @ weight_ih.data.T + dn_pre @ weight_in.data.T)
-        if h_prev.requires_grad:
-            h_prev._accumulate(gh * z + drh * r + d_gates @ weight_hh.data.T)
-        if weight_ih.requires_grad:
-            weight_ih._accumulate(x.data.T @ d_gates)
-        if weight_hh.requires_grad:
-            weight_hh._accumulate(h_prev.data.T @ d_gates)
-        if bias.requires_grad:
-            bias._accumulate(d_gates.sum(axis=0))
-        if weight_in.requires_grad:
-            weight_in._accumulate(x.data.T @ dn_pre)
-        if weight_hn.requires_grad:
-            weight_hn._accumulate(rh.T @ dn_pre)
-        if bias_n.requires_grad:
-            bias_n._accumulate(dn_pre.sum(axis=0))
-
-    out._backward = _backward
-    return out
-
-
-def lstm_seq(
-    x: Tensor,
-    h0: Tensor,
-    c0: Tensor,
-    weight_ih: Tensor,
-    weight_hh: Tensor,
-    bias: Tensor,
-) -> Tuple[Tensor, Tensor, Tensor]:
-    """Fused single-layer LSTM over a whole ``(B, T, F)`` sequence.
-
-    One graph node for the entire layer (plus a slice node for the
-    final hidden state): the input projection ``x @ W_ih`` is hoisted
-    out of the time loop as one batched matmul, and the backward is a
-    hand-written BPTT sweep whose weight gradients collapse into single
-    ``(B*T, ·)`` matmuls.  Per-step arithmetic matches the op-by-op
-    cell composition exactly (same expression order), so forward values
-    are bit-identical to :func:`lstm_cell` / the reference cell.
-
-    Returns ``(outputs, h_T, c_T)`` with outputs ``(B, T, H)``.
-    """
-    if obs.metrics_enabled():
-        obs.counter("kernel.lstm_seq")
-    x, h0, c0 = _as_tensor(x), _as_tensor(h0), _as_tensor(c0)
-    batch, time, _ = x.data.shape
-    hidden = weight_hh.data.shape[0]
-    parents = (x, h0, c0, weight_ih, weight_hh, bias)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
-
-    # hoisted input projection: one flat GEMM over all (t, b) rows (a
-    # 3-D matmul would dispatch B tiny GEMMs), laid out time-major so
-    # each step reads a contiguous (B, 4H) block
-    x_tm = np.ascontiguousarray(x.data.transpose(1, 0, 2))
-    gx = (x_tm.reshape(time * batch, -1) @ weight_ih.data).reshape(time, batch, -1)
-    dtype = np.result_type(gx.dtype, h0.data.dtype, bias.data.dtype)
-    # Scratch is laid out time-major so every per-step write lands in one
-    # contiguous (B, ·) block, and every elementwise op below runs in
-    # place (out=) with the exact operation order of the op-by-op cell —
-    # same bits, no temporaries.  Activations are stored gate-major
-    # (step, [i, f, g, o, tanh_c], B, H) so each gate view is a
-    # contiguous (B, H) block: strided column views of a packed (B, 5H)
-    # row defeat the SIMD ufunc loops (measured ~2.7x slower sigmoid).
-    out_tm = np.empty((time, batch, hidden), dtype=dtype)
-    gates = np.empty((batch, 4 * hidden), dtype=dtype)
-    ig = np.empty((batch, hidden), dtype=dtype)
-    c_pair = np.empty((2, batch, hidden), dtype=dtype)
-    # materialized bias rows: the broadcast add of a (4H,) row measures
-    # ~2x a same-shape add, and the loop pays it every step
-    bias_rows = np.empty((batch, 4 * hidden), dtype=dtype)
-    bias_rows[:] = bias.data
-    if requires:
-        act = np.empty((time, 5, batch, hidden), dtype=dtype)
-        c_hist = np.empty((time, batch, hidden), dtype=dtype)  # c entering step t
-    else:
-        step_act = np.empty((5, batch, hidden), dtype=dtype)
-    h = h0.data
-    c = c0.data
-    for t in range(time):
-        np.matmul(h, weight_hh.data, out=gates)
-        np.add(gx[t], gates, out=gates)
-        np.add(gates, bias_rows, out=gates)
-        i, f, g_in, o, tanh_c = act[t] if requires else step_act
-        _sigmoid_into(gates[:, 0 * hidden : 1 * hidden], i)
-        _sigmoid_into(gates[:, 1 * hidden : 2 * hidden], f)
-        np.tanh(gates[:, 2 * hidden : 3 * hidden], out=g_in)
-        _sigmoid_into(gates[:, 3 * hidden : 4 * hidden], o)
-        if requires:
-            c_hist[t] = c
-        c_new = c_pair[t & 1]
-        np.multiply(f, c, out=c_new)
-        np.multiply(i, g_in, out=ig)
-        np.add(c_new, ig, out=c_new)  # f*c + i*g, same order as the cell
-        np.tanh(c_new, out=tanh_c)
-        c = c_new
-        h = out_tm[t]
-        np.multiply(o, tanh_c, out=h)
-    outputs = np.ascontiguousarray(out_tm.transpose(1, 0, 2))
-    c = c.copy()  # detach the final state from the ping-pong scratch
-
-    out_t = Tensor(outputs, requires_grad=requires, _parents=parents if requires else ())
-    c_t = Tensor(c, requires_grad=requires, _parents=(out_t,) if requires else ())
-    if not requires:
-        return out_t, out_t[:, -1, :], c_t
-
-    shared: dict = {}
-
-    def _c_backward() -> None:
-        shared["dc_T"] = c_t.grad.copy()
-        # make sure the sequence node's backward fires even when only
-        # the cell state flows into the loss
-        out_t._accumulate(np.zeros_like(outputs))
-
-    def _backward() -> None:
-        # time-major like the forward scratch: contiguous per-step reads
-        # of the incoming grad and writes of the gate grads
-        g_out = np.ascontiguousarray(out_t.grad.transpose(1, 0, 2))
-        dc = shared.pop("dc_T", None)
-        if dc is None:
-            dc = np.zeros((batch, hidden), dtype=dtype)
-        dh_carry = np.zeros((batch, hidden), dtype=dtype)
-        dg_tm = np.empty((time, batch, 4 * hidden), dtype=dtype)
-        dh = np.empty((batch, hidden), dtype=dtype)
-        t1 = np.empty((batch, hidden), dtype=dtype)
-        t2 = np.empty((batch, hidden), dtype=dtype)
-        for t in range(time - 1, -1, -1):
-            i, f, g_in, o, tanh_c = act[t]
-            dg_step = dg_tm[t]
-            np.add(g_out[t], dh_carry, out=dh)
-            # dc += dh * (o * (1 - tanh_c^2)), same association as the cell
-            np.multiply(tanh_c, tanh_c, out=t1)
-            np.subtract(1.0, t1, out=t1)
-            np.multiply(o, t1, out=t1)
-            np.multiply(dh, t1, out=t1)
-            np.add(dc, t1, out=dc)
-            # gate grads: ((dc * pre) * gate) * (1 - gate), per gate
-            np.multiply(dc, g_in, out=t1)
-            np.multiply(t1, i, out=t1)
-            np.subtract(1.0, i, out=t2)
-            np.multiply(t1, t2, out=dg_step[:, 0 * hidden : 1 * hidden])
-            np.multiply(dc, c_hist[t], out=t1)
-            np.multiply(t1, f, out=t1)
-            np.subtract(1.0, f, out=t2)
-            np.multiply(t1, t2, out=dg_step[:, 1 * hidden : 2 * hidden])
-            np.multiply(dc, i, out=t1)
-            np.multiply(g_in, g_in, out=t2)
-            np.subtract(1.0, t2, out=t2)
-            np.multiply(t1, t2, out=dg_step[:, 2 * hidden : 3 * hidden])
-            np.multiply(dh, tanh_c, out=t1)
-            np.multiply(t1, o, out=t1)
-            np.subtract(1.0, o, out=t2)
-            np.multiply(t1, t2, out=dg_step[:, 3 * hidden : 4 * hidden])
-            np.matmul(dg_step, weight_hh.data.T, out=dh_carry)
-            np.multiply(dc, f, out=dc)
-        if h0.requires_grad:
-            h0._accumulate(dh_carry.copy())
-        if c0.requires_grad:
-            c0._accumulate(dc)
-        # the collapsed grad matmuls stay time-major: weight grads are
-        # sums over the same (t, b) row set either way (reassociated at
-        # ulp level, within the documented gradient tolerance), and
-        # skipping a batch-major restore saves a multi-MB transpose
-        # copy per backward call
-        flat_g = dg_tm.reshape(time * batch, 4 * hidden)
-        if x.requires_grad:
-            # one flat GEMM; the broadcast form would dispatch B small ones
-            dx_tm = (flat_g @ weight_ih.data.T).reshape(time, batch, -1)
-            x._accumulate(dx_tm.transpose(1, 0, 2))
-        if weight_ih.requires_grad:
-            weight_ih._accumulate(x_tm.reshape(time * batch, -1).T @ flat_g)
-        if weight_hh.requires_grad:
-            # h entering step t is h0 for t=0 and the step-(t-1) output
-            h_prev = np.concatenate([h0.data[None], out_tm[:-1]], axis=0)
-            weight_hh._accumulate(h_prev.reshape(time * batch, hidden).T @ flat_g)
-        if bias.requires_grad:
-            bias._accumulate(flat_g.sum(axis=0))
-
-    out_t._backward = _backward
-    c_t._backward = _c_backward
-    return out_t, out_t[:, -1, :], c_t
-
-
-def gru_seq(
-    x: Tensor,
-    h0: Tensor,
-    weight_ih: Tensor,
-    weight_hh: Tensor,
-    bias: Tensor,
-    weight_in: Tensor,
-    weight_hn: Tensor,
-    bias_n: Tensor,
-) -> Tuple[Tensor, Tensor]:
-    """Fused single-layer GRU over a ``(B, T, F)`` sequence.
-
-    Same design as :func:`lstm_seq`: hoisted input projections, one
-    graph node per layer, hand-written BPTT.  Returns
-    ``(outputs, h_T)``.
-    """
-    if obs.metrics_enabled():
-        obs.counter("kernel.gru_seq")
-    x, h0 = _as_tensor(x), _as_tensor(h0)
-    batch, time, _ = x.data.shape
-    hidden = weight_hh.data.shape[0]
-    parents = (x, h0, weight_ih, weight_hh, bias, weight_in, weight_hn, bias_n)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
-
-    gx = x.data @ weight_ih.data  # (B, T, 2H)
-    nx = x.data @ weight_in.data  # (B, T, H)
-    dtype = np.result_type(gx.dtype, h0.data.dtype, bias.data.dtype)
-    outputs = np.empty((batch, time, hidden), dtype=dtype)
-    if requires:
-        r_all = np.empty((batch, time, hidden), dtype=dtype)
-        z_all = np.empty_like(r_all)
-        n_all = np.empty_like(r_all)
-        rh_all = np.empty_like(r_all)
-        h_prev_all = np.empty_like(r_all)
-    h = h0.data
-    for t in range(time):
-        gates = gx[:, t] + h @ weight_hh.data + bias.data
-        r = _sigmoid_np(gates[:, :hidden])
-        z = _sigmoid_np(gates[:, hidden:])
-        rh = r * h
-        n = np.tanh(nx[:, t] + rh @ weight_hn.data + bias_n.data)
-        if requires:
-            r_all[:, t], z_all[:, t], n_all[:, t] = r, z, n
-            rh_all[:, t] = rh
-            h_prev_all[:, t] = h
-        h = (1.0 - z) * n + z * h
-        outputs[:, t] = h
-
-    out_t = Tensor(outputs, requires_grad=requires, _parents=parents if requires else ())
-    if not requires:
-        return out_t, out_t[:, -1, :]
-
-    def _backward() -> None:
-        g_out = out_t.grad
-        dh_carry = np.zeros((batch, hidden), dtype=dtype)
-        d_gates = np.empty((batch, time, 2 * hidden), dtype=dtype)
-        dn_pre = np.empty((batch, time, hidden), dtype=dtype)
-        w_hh_t = weight_hh.data.T
-        w_hn_t = weight_hn.data.T
-        for t in range(time - 1, -1, -1):
-            dh = g_out[:, t] + dh_carry
-            r, z, n = r_all[:, t], z_all[:, t], n_all[:, t]
-            h_prev = h_prev_all[:, t]
-            dz = dh * (h_prev - n)
-            dnp = (dh * (1.0 - z)) * (1.0 - n * n)
-            dn_pre[:, t] = dnp
-            drh = dnp @ w_hn_t
-            d_gates[:, t, :hidden] = (drh * h_prev) * r * (1.0 - r)
-            d_gates[:, t, hidden:] = dz * z * (1.0 - z)
-            dh_carry = dh * z + drh * r + d_gates[:, t] @ w_hh_t
-        if h0.requires_grad:
-            h0._accumulate(dh_carry)
-        if x.requires_grad:
-            x._accumulate(d_gates @ weight_ih.data.T + dn_pre @ weight_in.data.T)
-        flat_g = d_gates.reshape(batch * time, 2 * hidden)
-        flat_n = dn_pre.reshape(batch * time, hidden)
-        flat_x = x.data.reshape(batch * time, -1)
-        if weight_ih.requires_grad:
-            weight_ih._accumulate(flat_x.T @ flat_g)
-        if weight_hh.requires_grad:
-            weight_hh._accumulate(h_prev_all.reshape(batch * time, hidden).T @ flat_g)
-        if bias.requires_grad:
-            bias._accumulate(flat_g.sum(axis=0))
-        if weight_in.requires_grad:
-            weight_in._accumulate(flat_x.T @ flat_n)
-        if weight_hn.requires_grad:
-            weight_hn._accumulate(rh_all.reshape(batch * time, hidden).T @ flat_n)
-        if bias_n.requires_grad:
-            bias_n._accumulate(flat_n.sum(axis=0))
-
-    out_t._backward = _backward
-    return out_t, out_t[:, -1, :]
-
-
-def lstm_decoder_seq(
-    y0: Tensor,
-    h0: Tensor,
-    c0: Tensor,
-    weight_ih: Tensor,
-    weight_hh: Tensor,
-    bias: Tensor,
-    weight_out: Tensor,
-    bias_out: Tensor,
-    horizon: int,
-    out_chunks: int = 1,
-) -> Tensor:
-    """Fused autoregressive LSTM decoder rollout: one graph node.
-
-    Runs ``horizon`` feedback steps of the Seq2Seq decoder discipline
-
-        h_t, c_t = LSTMCell(y_{t-1}, (h_{t-1}, c_{t-1}))
-        y_t      = h_t @ W_out + b_out
-
-    where each step's prediction is the next step's input, so the whole
-    rollout is inherently sequential — but every step is *one* batched
-    ``lstm_cell``-equivalent over however many sequences (or carriers
-    folded into the batch axis) are decoded at once.  The op-by-op loop
-    records ``horizon * 3`` graph nodes; this primitive records one,
-    with a hand-written BPTT whose weight gradients collapse into single
-    ``(B*T, ·)`` matmuls.  Per-step arithmetic matches
-    :func:`lstm_cell` + :func:`affine` exactly (same expression order),
-    so forward values are bit-identical to the loop composition.
-
-    Returns the predictions as ``(B, horizon, O)`` where ``O`` is the
-    head's output width (= the cell's input width, by feedback).
-
-    ``out_chunks`` splits the head projection ``h_t @ W_out`` into that
-    many equal row groups.  BLAS dispatches narrow matmuls (``O`` of 1)
-    to a GEMV path whose rounding depends on the row count, so a rollout
-    over carriers folded to ``B·C`` rows would drift from the per-carrier
-    loop by ~1 ulp per step — compounding through the feedback.  Callers
-    that fold C carriers carrier-major pass ``out_chunks=C`` so each
-    group is projected at the same row count the loop oracle uses,
-    keeping the fold bit-identical.  The wide gate matmuls are row-count
-    invariant and stay fully batched.
-    """
-    if horizon < 1:
-        raise ValueError("horizon must be >= 1")
-    if out_chunks < 1:
-        raise ValueError("out_chunks must be >= 1")
-    if obs.metrics_enabled():
-        obs.counter("kernel.lstm_decoder_seq")
-    y0, h0, c0 = _as_tensor(y0), _as_tensor(h0), _as_tensor(c0)
-    batch = h0.data.shape[0]
-    hidden = weight_hh.data.shape[0]
-    out_features = weight_out.data.shape[1]
-    if weight_ih.data.shape[0] != out_features:
-        raise ValueError(
-            f"feedback width mismatch: cell input {weight_ih.data.shape[0]} "
-            f"!= head output {out_features}"
-        )
-    if batch % out_chunks:
-        raise ValueError(f"batch {batch} not divisible by out_chunks {out_chunks}")
-    parents = (y0, h0, c0, weight_ih, weight_hh, bias, weight_out, bias_out)
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in parents)
-    chunk_rows = batch // out_chunks
-
-    def _project(h_rows: np.ndarray) -> np.ndarray:
-        if out_chunks == 1:
-            return h_rows @ weight_out.data + bias_out.data
-        out = np.empty((batch, out_features), dtype=dtype)
-        for j in range(out_chunks):
-            rows = slice(j * chunk_rows, (j + 1) * chunk_rows)
-            out[rows] = h_rows[rows] @ weight_out.data + bias_out.data
-        return out
-
-    dtype = np.result_type(y0.data.dtype, h0.data.dtype, bias.data.dtype)
-    outputs = np.empty((batch, horizon, out_features), dtype=dtype)
-    # Time-major scratch + in-place elementwise ops, mirroring
-    # :func:`lstm_seq`: same FP operation order as the op-by-op cell, so
-    # forward values stay bit-identical while the step loop allocates
-    # nothing.  Input and hidden histories are rebuilt in the backward
-    # from ``y0``/``outputs`` and ``h0``/``h_tm``.
-    gates = np.empty((batch, 4 * hidden), dtype=dtype)
-    hh = np.empty((batch, 4 * hidden), dtype=dtype)
-    bias_rows = np.empty((batch, 4 * hidden), dtype=dtype)
-    bias_rows[:] = bias.data
-    ig = np.empty((batch, hidden), dtype=dtype)
-    c_pair = np.empty((2, batch, hidden), dtype=dtype)
-    if requires:
-        # gate-major (step, [i,f,g,o,tanh_c], B, H): contiguous views,
-        # see lstm_seq
-        act = np.empty((horizon, 5, batch, hidden), dtype=dtype)
-        c_hist = np.empty((horizon, batch, hidden), dtype=dtype)  # c entering step t
-        h_tm = np.empty((horizon, batch, hidden), dtype=dtype)  # h leaving step t
-    else:
-        step_act = np.empty((5, batch, hidden), dtype=dtype)
-        h_tm = np.empty((2, batch, hidden), dtype=dtype)
-    h = h0.data
-    c = c0.data
-    y = y0.data
-    for t in range(horizon):
-        np.matmul(y, weight_ih.data, out=gates)
-        np.matmul(h, weight_hh.data, out=hh)
-        np.add(gates, hh, out=gates)
-        np.add(gates, bias_rows, out=gates)
-        i, f, g_in, o, tanh_c = act[t] if requires else step_act
-        _sigmoid_into(gates[:, 0 * hidden : 1 * hidden], i)
-        _sigmoid_into(gates[:, 1 * hidden : 2 * hidden], f)
-        np.tanh(gates[:, 2 * hidden : 3 * hidden], out=g_in)
-        _sigmoid_into(gates[:, 3 * hidden : 4 * hidden], o)
-        if requires:
-            c_hist[t] = c
-        c_new = c_pair[t & 1]
-        np.multiply(f, c, out=c_new)
-        np.multiply(i, g_in, out=ig)
-        np.add(c_new, ig, out=c_new)  # f*c + i*g, same order as the cell
-        np.tanh(c_new, out=tanh_c)
-        h = h_tm[t] if requires else h_tm[t & 1]
-        np.multiply(o, tanh_c, out=h)
-        c = c_new
-        y = _project(h)
-        outputs[:, t] = y
-
-    out_t = Tensor(outputs, requires_grad=requires, _parents=parents if requires else ())
-    if not requires:
-        return out_t
-
-    def _backward() -> None:
-        g_out = out_t.grad  # (B, T, O)
-        dy_feedback = np.zeros((batch, out_features), dtype=dtype)
-        dh_carry = np.zeros((batch, hidden), dtype=dtype)
-        dc = np.zeros((batch, hidden), dtype=dtype)
-        dg_tm = np.empty((horizon, batch, 4 * hidden), dtype=dtype)
-        dy_tm = np.empty((horizon, batch, out_features), dtype=dtype)
-        dh = np.empty((batch, hidden), dtype=dtype)
-        t1 = np.empty((batch, hidden), dtype=dtype)
-        t2 = np.empty((batch, hidden), dtype=dtype)
-        w_out_t = weight_out.data.T
-        w_ih_t = weight_ih.data.T
-        w_hh_t = weight_hh.data.T
-        for t in range(horizon - 1, -1, -1):
-            i, f, g_in, o, tanh_c = act[t]
-            dg_step = dg_tm[t]
-            dy = dy_tm[t]
-            np.add(g_out[:, t], dy_feedback, out=dy)  # loss + next input grad
-            np.matmul(dy, w_out_t, out=dh)
-            np.add(dh, dh_carry, out=dh)
-            # dc += dh * (o * (1 - tanh_c^2)), same association as the cell
-            np.multiply(tanh_c, tanh_c, out=t1)
-            np.subtract(1.0, t1, out=t1)
-            np.multiply(o, t1, out=t1)
-            np.multiply(dh, t1, out=t1)
-            np.add(dc, t1, out=dc)
-            np.multiply(dc, g_in, out=t1)
-            np.multiply(t1, i, out=t1)
-            np.subtract(1.0, i, out=t2)
-            np.multiply(t1, t2, out=dg_step[:, 0 * hidden : 1 * hidden])
-            np.multiply(dc, c_hist[t], out=t1)
-            np.multiply(t1, f, out=t1)
-            np.subtract(1.0, f, out=t2)
-            np.multiply(t1, t2, out=dg_step[:, 1 * hidden : 2 * hidden])
-            np.multiply(dc, i, out=t1)
-            np.multiply(g_in, g_in, out=t2)
-            np.subtract(1.0, t2, out=t2)
-            np.multiply(t1, t2, out=dg_step[:, 2 * hidden : 3 * hidden])
-            np.multiply(dh, tanh_c, out=t1)
-            np.multiply(t1, o, out=t1)
-            np.subtract(1.0, o, out=t2)
-            np.multiply(t1, t2, out=dg_step[:, 3 * hidden : 4 * hidden])
-            np.matmul(dg_step, w_ih_t, out=dy_feedback)
-            np.matmul(dg_step, w_hh_t, out=dh_carry)
-            np.multiply(dc, f, out=dc)
-        if y0.requires_grad:
-            y0._accumulate(dy_feedback.copy())
-        if h0.requires_grad:
-            h0._accumulate(dh_carry.copy())
-        if c0.requires_grad:
-            c0._accumulate(dc)
-        # the collapsed grad matmuls stay time-major (h_tm already is):
-        # weight grads sum the same (t, b) rows either way, reassociated
-        # at ulp level within the documented gradient tolerance, and the
-        # batch-major restore would cost a multi-MB transpose copy
-        flat_g = dg_tm.reshape(horizon * batch, 4 * hidden)
-        flat_dy = dy_tm.reshape(horizon * batch, out_features)
-        if weight_ih.requires_grad:
-            # input entering step t: y0 at t=0, the step-(t-1) prediction after
-            inp_tm = np.concatenate(
-                [y0.data[None], outputs.transpose(1, 0, 2)[:-1]], axis=0
-            )
-            weight_ih._accumulate(inp_tm.reshape(horizon * batch, out_features).T @ flat_g)
-        if weight_hh.requires_grad:
-            h_prev = np.concatenate([h0.data[None], h_tm[:-1]], axis=0)
-            weight_hh._accumulate(h_prev.reshape(horizon * batch, hidden).T @ flat_g)
-        if bias.requires_grad:
-            bias._accumulate(flat_g.sum(axis=0))
-        if weight_out.requires_grad:
-            weight_out._accumulate(h_tm.reshape(horizon * batch, hidden).T @ flat_dy)
-        if bias_out.requires_grad:
-            bias_out._accumulate(flat_dy.sum(axis=0))
-
-    out_t._backward = _backward
-    return out_t
 
 
 def numerical_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6) -> np.ndarray:

@@ -86,18 +86,44 @@ def _read_git_sha(path: Path) -> Optional[str]:
     return None
 
 
-def kernel_paths() -> Dict[str, bool]:
+def kernel_paths() -> Dict[str, object]:
     """The hot-path dispatch toggles currently in effect.
 
     Reads :func:`repro.runtime.flags` (the single source of truth for
-    the fused-kernel / carrier-folding / vectorized-radio switches);
-    imported lazily so :mod:`repro.obs` stays import-cycle-free.
+    the fused-kernel / carrier-folding / vectorized-radio / arena /
+    backend switches); imported lazily so :mod:`repro.obs` stays
+    import-cycle-free.  Besides the raw flags, the snapshot records
+    ``backend_resolved`` — the backend that *actually* serves dispatch
+    after graceful fallback (numpy when the requested backend is
+    unknown or its dependency is missing) — so a manifest never claims
+    an acceleration that silently degraded.
     """
     try:
-        from .. import runtime
+        from .. import backends, runtime
     except ImportError:  # pragma: no cover - partial installs
         return {}
-    return runtime.flags()
+    paths: Dict[str, object] = runtime.flags()
+    paths["backend_resolved"] = backends.active_name()
+    return paths
+
+
+def tuning() -> Dict[str, object]:
+    """Benchmark-derived tuning constants currently in effect.
+
+    Auto-tuned crossovers (today: Prism5G's batched-encoder fold
+    chunking, see :mod:`repro.core.prism5g`) are stamped into run
+    manifests so a recorded result can be traced back to the constants
+    that shaped its hot path.
+    """
+    values: Dict[str, object] = {}
+    try:
+        from ..core import prism5g
+    except ImportError:  # pragma: no cover - partial installs
+        return values
+    values["fold_chunk_rows"] = prism5g.fold_chunk_rows()
+    if prism5g._FOLD_TUNING is not None:
+        values["fold_chunk_tuning"] = dict(prism5g._FOLD_TUNING)
+    return values
 
 
 def build_manifest(
@@ -129,6 +155,7 @@ def build_manifest(
         "config_hash": config_hash(config),
         "experiment_hash": run_hash,
         "kernel_paths": kernel_paths(),
+        "tuning": tuning(),
         "metrics": dict(metrics) if metrics is not None else None,
         "history": dict(history) if history is not None else None,
         "extra": dict(extra) if extra is not None else None,

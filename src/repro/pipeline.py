@@ -125,9 +125,10 @@ class ExperimentConfig:
     seed: int = 0
     deep: DeepConfig = field(default_factory=DeepConfig)
     #: kernel-path dispatch flags applied for the whole run (defaults:
-    #: every fast path on — the production configuration).
-    runtime: Dict[str, bool] = field(
-        default_factory=lambda: {flag: True for flag in runtime.FLAG_NAMES}
+    #: every fast path on, compute backend as currently selected — so a
+    #: ``REPRO_BACKEND`` preset flows into unconfigured experiments).
+    runtime: Dict[str, object] = field(
+        default_factory=lambda: {**runtime.default_flags(), "backend": runtime.backend_name()}
     )
 
     def __post_init__(self) -> None:
@@ -153,14 +154,19 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown predictor(s) {unknown}; registered predictors: {registered_predictors()}"
             )
-        unknown_flags = sorted(set(self.runtime) - set(runtime.FLAG_NAMES))
+        unknown_flags = sorted(set(self.runtime) - set(runtime.ALL_FLAG_NAMES))
         if unknown_flags:
             raise ValueError(
-                f"unknown runtime flag(s) {unknown_flags}; known flags: {list(runtime.FLAG_NAMES)}"
+                f"unknown runtime flag(s) {unknown_flags}; known flags: {list(runtime.ALL_FLAG_NAMES)}"
             )
-        self.runtime = {
-            flag: bool(self.runtime.get(flag, True)) for flag in runtime.FLAG_NAMES
-        }
+        filled: Dict[str, object] = {}
+        for flag in runtime.ALL_FLAG_NAMES:
+            if flag in runtime.VALUE_FLAG_NAMES:
+                default = runtime.backend_name() if flag == "backend" else runtime.flag(flag)
+                filled[flag] = str(self.runtime.get(flag, default)).strip().lower()
+            else:
+                filled[flag] = bool(self.runtime.get(flag, True))
+        self.runtime = filled
 
     # ------------------------------------------------------------------
     @property

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .. import obs, runtime
+from .. import backends, obs, runtime
 from .ca import CAManager
 from .cells import Cell, Deployment, build_deployment
 from .link import LinkAdapter
@@ -28,7 +28,6 @@ from .propagation import (
     noise_power_dbm,
     rsrp_dbm,
     urban_macro_pathloss_db,
-    urban_macro_pathloss_db_array,
 )
 from .scheduler import Scheduler
 from .traces import CCSample, Trace, TraceRecord
@@ -403,37 +402,27 @@ class TraceSimulator:
             return {}, {}, {}
         shadows, fadings = self._advance_radio_processes(state, rho)
         position = np.asarray(state.position, dtype=np.float64)
-        delta = self._cand_pos - position
-        distance = np.hypot(delta[:, 0], delta[:, 1])
-        pl_los = urban_macro_pathloss_db_array(distance, self._cand_freq, los=True)
-        pl_nlos = urban_macro_pathloss_db_array(distance, self._cand_freq, los=False)
-        if state.indoor:
-            los_weight = np.zeros_like(distance)
-        elif self.force_los is True:
-            los_weight = np.ones_like(distance)
-        elif self.force_los is False:
-            los_weight = np.zeros_like(distance)
-        else:
-            los_weight = np.exp(-distance / _LOS_BLEND_M)
-        pl = los_weight * pl_los + (1.0 - los_weight) * pl_nlos
-        # interfering links keep the distance-based LOS probability
-        # (force_los applies to serving links only)
-        if state.indoor:
-            interf_weight = np.zeros_like(distance)
-        else:
-            interf_weight = np.exp(-distance / _LOS_BLEND_M)
-        pl_interf = interf_weight * pl_los + (1.0 - interf_weight) * pl_nlos
-        if state.indoor:
-            pl = pl + self._cand_indoor_pen
-            pl_interf = pl_interf + self._cand_indoor_pen
-
-        rsrp = self._cand_per_re_tx - pl - shadows + fadings
-        received_mw = _CO_CHANNEL_ACTIVITY * 10.0 ** ((self._cand_per_re_tx - pl_interf) / 10.0)
-        interf_mw = self._interf_mask @ received_mw
-        signal_mw = 10.0 ** (rsrp / 10.0)
-        sinr = 10.0 * np.log10(signal_mw / (self._cand_noise_mw + interf_mw))
-        rssi_mw = (signal_mw + self._cand_noise_mw + interf_mw) * 12.0 * self._cand_nrb
-        rsrq = self._cand_nrb_db + rsrp - 10.0 * np.log10(rssi_mw)
+        # numeric core lives in the active compute backend (numpy is the
+        # reference; numba JITs the same expressions) — the simulator
+        # keeps the AR(1) process updates above to preserve RNG draw
+        # order, and the dict packing below.
+        rsrp, sinr, rsrq = backends.active().radio_step(
+            position,
+            bool(state.indoor),
+            self.force_los,
+            shadows,
+            fadings,
+            self._cand_pos,
+            self._cand_freq,
+            self._cand_per_re_tx,
+            self._cand_noise_mw,
+            self._cand_nrb,
+            self._cand_nrb_db,
+            self._cand_indoor_pen,
+            self._interf_mask,
+            _LOS_BLEND_M,
+            _CO_CHANNEL_ACTIVITY,
+        )
 
         rsrp_map: Dict[int, float] = {}
         sinr_map: Dict[int, float] = {}

@@ -1,6 +1,6 @@
 """repro.runtime — single source of truth for kernel-path dispatch.
 
-The repo has three hot-path dispatch switches that grew up in three
+The repo has four boolean hot-path dispatch switches that grew up in
 different modules:
 
 * ``fused_kernels`` — fused LSTM/GRU/affine autograd kernels vs the
@@ -8,7 +8,10 @@ different modules:
 * ``batched_cc`` — Prism5G's carrier-folded forward vs the per-CC
   Python loop (:mod:`repro.core.prism5g`);
 * ``vectorized_radio`` — the simulator's array-based candidate radio
-  update vs the scalar per-cell loop (:mod:`repro.ran.simulator`).
+  update vs the scalar per-cell loop (:mod:`repro.ran.simulator`);
+* ``arena`` — workspace-arena scratch reuse inside training steps
+  (:mod:`repro.backends.arena`): preallocated gate/activation/grad
+  buffers are recycled across steps instead of allocated fresh.
 
 Each switch used to be an independent module global, which meant a
 cached trace set, a training run, and the manifest describing them
@@ -19,12 +22,21 @@ in its hot loop, kept in sync by :func:`set_flag`), and the legacy
 setters (``set_fused_kernels`` & co.) survive as deprecated shims that
 delegate here.
 
+On top of the booleans there is one *value* flag, ``backend``: the
+name of the compute backend the fused primitives dispatch through
+(see :mod:`repro.backends`).  It defaults to ``"numpy"`` — the
+bit-identical reference backend — and can be preset with the
+``REPRO_BACKEND`` environment variable or flipped at runtime exactly
+like the boolean flags (``runtime.configure(backend="numba")``).
+Unknown names degrade gracefully: the backend registry resolves them
+back to numpy and publishes an obs counter rather than failing a run.
+
 The same module owns the repo's one canonical content-hash helper,
 :func:`canonical_hash` (sorted-key compact JSON → SHA-256), used by the
 trace cache, the obs manifests, and the experiment pipeline — so one
-hash identifies a run everywhere.  Because ``vectorized_radio`` changes
-synthesized trace values (at the last-ulp level), the trace cache folds
-:func:`synthesis_fingerprint` into its keys; see
+hash identifies a run everywhere.  Because ``vectorized_radio`` and
+``backend`` change synthesized trace values (at the last-ulp level),
+the trace cache folds :func:`synthesis_fingerprint` into its keys; see
 :func:`repro.data.cache.cache_key`.
 
 Typical use::
@@ -34,49 +46,95 @@ Typical use::
     runtime.configure(fused_kernels=False)       # flip one flag
     with runtime.use(vectorized_radio=False):    # pin for a block
         ...
-    runtime.flags()                              # {'fused_kernels': ..., ...}
+    runtime.configure(backend="numba")           # select a backend
+    runtime.flags()                              # {'arena': ..., 'backend': ...}
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from typing import Callable, Dict, List, Mapping, Optional
 
-#: every dispatch flag, in stable (sorted) order.
-FLAG_NAMES = ("batched_cc", "fused_kernels", "vectorized_radio")
+#: every *boolean* dispatch flag, in stable (sorted) order.
+FLAG_NAMES = ("arena", "batched_cc", "fused_kernels", "vectorized_radio")
+
+#: string-valued flags (currently just the compute-backend selector).
+VALUE_FLAG_NAMES = ("backend",)
+
+#: every flag — boolean and value — in stable (sorted) order.
+ALL_FLAG_NAMES = tuple(sorted(FLAG_NAMES + VALUE_FLAG_NAMES))
 
 #: flags that change *synthesized trace values* (and therefore must be
 #: folded into the trace-cache key); the others only affect training
-#: and inference numerics of the nn stack.
-SYNTHESIS_FLAG_NAMES = ("vectorized_radio",)
+#: and inference numerics of the nn stack.  ``backend`` is here because
+#: a compiled backend's transcendentals may round differently from
+#: numpy's in the last ulp.
+SYNTHESIS_FLAG_NAMES = ("backend", "vectorized_radio")
 
-_FLAGS: Dict[str, bool] = {name: True for name in FLAG_NAMES}
-_MIRRORS: Dict[str, List[Callable[[bool], None]]] = {name: [] for name in FLAG_NAMES}
+#: the reference backend: plain numpy, bit-identical to the oracles.
+DEFAULT_BACKEND = "numpy"
+
+
+def _env_backend() -> str:
+    return os.environ.get("REPRO_BACKEND", "").strip().lower() or DEFAULT_BACKEND
+
+
+def default_flags() -> Dict[str, object]:
+    """The production flag snapshot: every fast path on, numpy backend."""
+    values: Dict[str, object] = {}
+    for name in ALL_FLAG_NAMES:
+        values[name] = DEFAULT_BACKEND if name in VALUE_FLAG_NAMES else True
+    return values
+
+
+def _initial_flags() -> Dict[str, object]:
+    values = default_flags()
+    values["backend"] = _env_backend()
+    return values
+
+
+_FLAGS: Dict[str, object] = _initial_flags()
+_MIRRORS: Dict[str, List[Callable[[object], None]]] = {name: [] for name in ALL_FLAG_NAMES}
 
 
 def _check_name(name: str) -> None:
     if name not in _FLAGS:
-        raise ValueError(f"unknown runtime flag {name!r}; known flags: {list(FLAG_NAMES)}")
+        raise ValueError(f"unknown runtime flag {name!r}; known flags: {list(ALL_FLAG_NAMES)}")
 
 
-def flag(name: str) -> bool:
-    """Current value of one dispatch flag."""
+def _coerce(name: str, value: object) -> object:
+    if name in VALUE_FLAG_NAMES:
+        text = str(value).strip().lower()
+        if not text:
+            raise ValueError(f"runtime flag {name!r} needs a non-empty string value")
+        return text
+    return bool(value)
+
+
+def flag(name: str) -> object:
+    """Current value of one dispatch flag (bool, or str for value flags)."""
     _check_name(name)
     return _FLAGS[name]
 
 
-def flags() -> Dict[str, bool]:
+def flags() -> Dict[str, object]:
     """Snapshot of every dispatch flag (insertion order = sorted names)."""
     return dict(_FLAGS)
 
 
-def synthesis_fingerprint() -> Dict[str, bool]:
+def backend_name() -> str:
+    """The *requested* backend name (resolution lives in :mod:`repro.backends`)."""
+    return str(_FLAGS["backend"])
+
+
+def synthesis_fingerprint() -> Dict[str, object]:
     """The subset of flags that affect synthesized trace values."""
     return {name: _FLAGS[name] for name in SYNTHESIS_FLAG_NAMES}
 
 
-def register_mirror(name: str, setter: Callable[[bool], None]) -> bool:
+def register_mirror(name: str, setter: Callable[[object], None]) -> object:
     """Register a write-through mirror for ``name``; returns the current value.
 
     Subsystem modules call this at import time with a setter that
@@ -91,18 +149,18 @@ def register_mirror(name: str, setter: Callable[[bool], None]) -> bool:
     return _FLAGS[name]
 
 
-def set_flag(name: str, enabled: bool) -> bool:
+def set_flag(name: str, enabled: object) -> object:
     """Set one flag (and push it to every mirror); returns the previous value."""
     _check_name(name)
     previous = _FLAGS[name]
-    value = bool(enabled)
+    value = _coerce(name, enabled)
     _FLAGS[name] = value
     for setter in _MIRRORS[name]:
         setter(value)
     return previous
 
 
-def configure(**flag_values: Optional[bool]) -> Dict[str, bool]:
+def configure(**flag_values: object) -> Dict[str, object]:
     """Set any subset of flags by keyword; returns the *previous* snapshot.
 
     ``None`` values are ignored so callers can pass optional CLI args
@@ -126,15 +184,15 @@ class use:
 
     ::
 
-        with runtime.use(fused_kernels=False, batched_cc=False):
-            ...  # oracle paths active
+        with runtime.use(fused_kernels=False, backend="numpy"):
+            ...  # oracle nn path, reference backend
     """
 
-    def __init__(self, **flag_values: Optional[bool]) -> None:
+    def __init__(self, **flag_values: object) -> None:
         for name in flag_values:
             _check_name(name)
         self.flag_values = flag_values
-        self._previous: Optional[Dict[str, bool]] = None
+        self._previous: Optional[Dict[str, object]] = None
 
     def __enter__(self) -> "use":
         self._previous = configure(**self.flag_values)

@@ -1,0 +1,353 @@
+"""repro.backends: registry resolution, fallback, arena, numba equivalence.
+
+The numpy backend's bit-identity to the loop oracles is covered by
+tests/test_nn_fused.py and tests/test_batched_equivalence.py (the
+refactor kept the same expressions, so those suites are the contract).
+This file covers the dispatch machinery itself: name resolution and
+graceful fallback (with its obs counter), the workspace arena's
+step-window semantics and gradient correctness across consecutive fits,
+and — when numba is installed — the tolerance-based equivalence of the
+JIT backend against the numpy reference.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro import backends, obs, runtime
+from repro.backends import arena, numpy_backend
+from repro.nn.kernels import gru_seq, lstm_decoder_seq, lstm_seq
+from repro.nn.modules import LSTM, Linear, Module
+from repro.nn.tensor import Tensor
+from repro.nn.training import Trainer, stack_trace_windows
+
+
+@pytest.fixture(autouse=True)
+def restore_flags():
+    before = runtime.flags()
+    yield
+    runtime.configure(**before)
+    arena.clear()
+
+
+# ---------------------------------------------------------------------------
+# registry + resolution
+
+
+class TestRegistry:
+    def test_numpy_is_default_and_available(self):
+        assert runtime.backend_name() == "numpy"
+        assert backends.active_name() == "numpy"
+        assert "numpy" in backends.available_backends()
+        assert set(backends.registered_backends()) >= {"numpy", "numba"}
+
+    def test_backend_object_carries_every_primitive(self):
+        be = backends.active()
+        for fname in backends.PRIMITIVES:
+            assert callable(getattr(be, fname)), fname
+
+    def test_flag_flip_swaps_active_backend(self):
+        with runtime.use(backend="numpy"):
+            assert backends.active_name() == "numpy"
+        # unknown name resolves back to numpy but remembers the request
+        with runtime.use(backend="no-such-backend"):
+            assert backends.requested_name() == "no-such-backend"
+            assert backends.active_name() == "numpy"
+        assert backends.requested_name() == "numpy"
+
+    def test_fallback_publishes_obs_counter(self):
+        obs.configure(mode=obs.MODE_METRICS)
+        try:
+            obs.reset()
+            with runtime.use(backend="no-such-backend"):
+                pass
+            counters = obs.snapshot()["counters"]
+            assert counters.get("backend.fallback", 0) >= 1
+        finally:
+            obs.configure(mode=obs.MODE_OFF)
+
+    def test_register_backend_partial_module_inherits_numpy(self):
+        class _Stub:
+            name = "stub"
+
+            @staticmethod
+            def affine_forward(x, weight, h, weight_h, bias):
+                return numpy_backend.affine_forward(x, weight, h, weight_h, bias)
+
+        backends.register_backend("stub", lambda: _Stub)
+        try:
+            with runtime.use(backend="stub"):
+                be = backends.active()
+                assert be.name == "stub"
+                # unimplemented primitives fall through to numpy
+                assert be.lstm_seq_forward is numpy_backend.lstm_seq_forward
+        finally:
+            backends._REGISTRY.pop("stub", None)
+
+    def test_kernels_bit_identical_across_backend_roundtrip(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 6, 5))
+        h0 = np.zeros((4, 8))
+        c0 = np.zeros((4, 8))
+        w_ih = rng.normal(size=(5, 32))
+        w_hh = rng.normal(size=(8, 32))
+        b = rng.normal(size=32)
+        out_a, _, _ = lstm_seq(Tensor(x), Tensor(h0), Tensor(c0),
+                               Tensor(w_ih), Tensor(w_hh), Tensor(b))
+        with runtime.use(backend="numpy"):
+            out_b, _, _ = lstm_seq(Tensor(x), Tensor(h0), Tensor(c0),
+                                   Tensor(w_ih), Tensor(w_hh), Tensor(b))
+        assert np.array_equal(out_a.data, out_b.data)
+
+
+# ---------------------------------------------------------------------------
+# workspace arena
+
+
+class _SeqModel(Module):
+    def __init__(self, features: int = 4, hidden: int = 8):
+        super().__init__()
+        self.rnn = LSTM(features, hidden)
+        self.head = Linear(hidden, 1)
+
+    def forward(self, x):
+        out, _ = self.rnn(x)
+        return self.head(out[:, -1, :])
+
+
+def _fit_losses(x, y, arena_on: bool, epochs: int = 3):
+    with runtime.use(arena=arena_on):
+        arena.clear()
+        trainer = Trainer(_SeqModel(), max_epochs=epochs, batch_size=16, seed=0)
+        history = trainer.fit(x, y)
+        preds = trainer.predict(x)
+    return history.train_loss, preds
+
+
+class TestArena:
+    def test_pools_are_reused_across_steps(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(48, 10, 4))
+        y = rng.normal(size=(48, 1))
+        arena.clear()
+        Trainer(_SeqModel(), max_epochs=2, batch_size=16, seed=0).fit(x, y)
+        stats = arena.workspace().stats()
+        assert stats["steps"] > 1
+        assert stats["hits"] > stats["misses"]
+        # window closed after fit: library calls outside a step allocate fresh
+        assert not arena.workspace().active
+
+    def test_arena_is_numerically_invisible(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(64, 10, 4))
+        y = rng.normal(size=(64, 1))
+        loss_on, preds_on = _fit_losses(x, y, arena_on=True)
+        loss_off, preds_off = _fit_losses(x, y, arena_on=False)
+        assert loss_on == loss_off  # lint: bit-identical
+        assert np.array_equal(preds_on, preds_off)
+
+    def test_two_consecutive_fits_keep_correct_grads(self):
+        # buffer recycling across fit() calls must not leak stale state:
+        # the same trainer fit twice equals two independent single fits
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(32, 8, 4))
+        y = rng.normal(size=(32, 1))
+        with runtime.use(arena=True):
+            arena.clear()
+            trainer = Trainer(_SeqModel(), max_epochs=2, batch_size=8, seed=0)
+            trainer.fit(x, y)
+            second = trainer.fit(x, y)
+
+            reference = Trainer(_SeqModel(), max_epochs=2, batch_size=8, seed=0)
+            reference.fit(x, y)
+            reference_second = reference.fit(x, y)
+        assert second.train_loss == reference_second.train_loss  # lint: bit-identical
+
+    def test_buffers_escaping_as_tensor_data_are_distinct(self):
+        # outputs/final states escape the step window as Tensor.data and
+        # must never alias pooled scratch across two kernel calls
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 5, 4))
+        args = (Tensor(np.zeros((3, 6))), Tensor(np.zeros((3, 6))),
+                Tensor(rng.normal(size=(4, 24))), Tensor(rng.normal(size=(6, 24))),
+                Tensor(rng.normal(size=24)))
+        with runtime.use(arena=True):
+            arena.clear()
+            arena.begin_step()
+            out1, _, c1 = lstm_seq(Tensor(x), *args)
+            first = out1.data.copy()
+            arena.begin_step()
+            out2, _, _ = lstm_seq(Tensor(2.0 * x), *args)
+            assert out1.data is not out2.data
+            assert np.array_equal(out1.data, first)
+            arena.end_run()
+
+    def test_inactive_outside_step_window(self):
+        arena.clear()
+        buf_a = arena.empty((4, 4))
+        buf_b = arena.empty((4, 4))
+        assert buf_a is not buf_b
+        assert arena.workspace().stats()["pools"] == 0
+
+    def test_flag_off_disables_pooling(self):
+        with runtime.use(arena=False):
+            arena.clear()
+            arena.begin_step()
+            arena.empty((8,))
+            arena.empty((8,))
+            assert arena.workspace().stats()["buffers"] == 0
+            arena.end_run()
+
+
+# ---------------------------------------------------------------------------
+# multi-trace stacking
+
+
+class TestStackTraceWindows:
+    def test_stacks_along_sample_axis(self):
+        rng = np.random.default_rng(5)
+        pairs = [(rng.normal(size=(n, 6, 3)), rng.normal(size=(n, 2))) for n in (4, 7, 5)]
+        x, y = stack_trace_windows(pairs)
+        assert x.shape == (16, 6, 3)
+        assert y.shape == (16, 2)
+        assert np.array_equal(x[4:11], pairs[1][0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            stack_trace_windows([
+                (np.zeros((2, 5, 3)), np.zeros((2, 1))),
+                (np.zeros((2, 4, 3)), np.zeros((2, 1))),
+            ])
+        with pytest.raises(ValueError, match="windows"):
+            stack_trace_windows([(np.zeros((2, 5, 3)), np.zeros((3, 1)))])
+        with pytest.raises(ValueError, match="at least one"):
+            stack_trace_windows([])
+
+    def test_fit_traces_equals_fit_on_stacked(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(40, 8, 4))
+        y = rng.normal(size=(40, 1))
+        pairs = [(x[:25], y[:25]), (x[25:], y[25:])]
+        stacked = Trainer(_SeqModel(), max_epochs=2, batch_size=10, seed=0)
+        hist_a = stacked.fit_traces(pairs)
+        reference = Trainer(_SeqModel(), max_epochs=2, batch_size=10, seed=0)
+        hist_b = reference.fit(x, y)
+        assert hist_a.train_loss == hist_b.train_loss  # lint: bit-identical
+
+
+# ---------------------------------------------------------------------------
+# numba backend (tolerance contract; skipped when numba is absent)
+
+
+_HAS_NUMBA = importlib.util.find_spec("numba") is not None
+
+
+@pytest.mark.skipif(not _HAS_NUMBA, reason="numba not installed")
+class TestNumbaEquivalence:
+    RTOL = 1e-9
+    ATOL = 1e-11
+
+    def _grads(self, out, wrt):
+        out.sum().backward()
+        return [t.grad.copy() for t in wrt]
+
+    def test_lstm_seq_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(rng.normal(size=(5, 9, 4)), requires_grad=True)
+        h0 = Tensor(np.zeros((5, 8)))
+        c0 = Tensor(np.zeros((5, 8)))
+        w_ih = Tensor(rng.normal(size=(4, 32)), requires_grad=True)
+        w_hh = Tensor(rng.normal(size=(8, 32)), requires_grad=True)
+        b = Tensor(rng.normal(size=32), requires_grad=True)
+        wrt = [x, w_ih, w_hh, b]
+
+        out_np, _, _ = lstm_seq(x, h0, c0, w_ih, w_hh, b)
+        g_np = self._grads(out_np, wrt)
+        for t in wrt:
+            t.grad = None
+        with runtime.use(backend="numba"):
+            assert backends.active_name() == "numba"
+            out_nb, _, _ = lstm_seq(x, h0, c0, w_ih, w_hh, b)
+            g_nb = self._grads(out_nb, wrt)
+        np.testing.assert_allclose(out_nb.data, out_np.data, rtol=self.RTOL, atol=self.ATOL)
+        for a, b_ in zip(g_nb, g_np):
+            np.testing.assert_allclose(a, b_, rtol=self.RTOL, atol=self.ATOL)
+
+    def test_gru_seq_matches_numpy(self):
+        rng = np.random.default_rng(8)
+        x = Tensor(rng.normal(size=(4, 7, 3)), requires_grad=True)
+        h0 = Tensor(np.zeros((4, 6)))
+        w_ih = Tensor(rng.normal(size=(3, 12)), requires_grad=True)
+        w_hh = Tensor(rng.normal(size=(6, 12)), requires_grad=True)
+        b = Tensor(rng.normal(size=12), requires_grad=True)
+        w_in = Tensor(rng.normal(size=(3, 6)), requires_grad=True)
+        w_hn = Tensor(rng.normal(size=(6, 6)), requires_grad=True)
+        b_n = Tensor(rng.normal(size=6), requires_grad=True)
+        wrt = [x, w_ih, w_hh, b, w_in, w_hn, b_n]
+
+        out_np, _ = gru_seq(x, h0, w_ih, w_hh, b, w_in, w_hn, b_n)
+        g_np = self._grads(out_np, wrt)
+        for t in wrt:
+            t.grad = None
+        with runtime.use(backend="numba"):
+            out_nb, _ = gru_seq(x, h0, w_ih, w_hh, b, w_in, w_hn, b_n)
+            g_nb = self._grads(out_nb, wrt)
+        np.testing.assert_allclose(out_nb.data, out_np.data, rtol=self.RTOL, atol=self.ATOL)
+        for a, b_ in zip(g_nb, g_np):
+            np.testing.assert_allclose(a, b_, rtol=self.RTOL, atol=self.ATOL)
+
+    def test_decoder_rollout_matches_numpy(self):
+        rng = np.random.default_rng(9)
+        y0 = Tensor(rng.normal(size=(4, 1)))
+        h0 = Tensor(rng.normal(size=(4, 6)))
+        c0 = Tensor(np.zeros((4, 6)))
+        w_ih = Tensor(rng.normal(size=(1, 24)), requires_grad=True)
+        w_hh = Tensor(rng.normal(size=(6, 24)), requires_grad=True)
+        b = Tensor(rng.normal(size=24), requires_grad=True)
+        w_out = Tensor(rng.normal(size=(6, 1)), requires_grad=True)
+        b_out = Tensor(rng.normal(size=1), requires_grad=True)
+
+        out_np = lstm_decoder_seq(y0, h0, c0, w_ih, w_hh, b, w_out, b_out, horizon=5)
+        with runtime.use(backend="numba"):
+            out_nb = lstm_decoder_seq(y0, h0, c0, w_ih, w_hh, b, w_out, b_out, horizon=5)
+        np.testing.assert_allclose(out_nb.data, out_np.data, rtol=self.RTOL, atol=self.ATOL)
+
+    def test_radio_step_matches_numpy(self):
+        rng = np.random.default_rng(10)
+        c = 6
+        args = (
+            rng.normal(size=2) * 100.0,
+            False,
+            None,
+            rng.normal(size=c),
+            rng.normal(size=c),
+            rng.normal(size=(c, 2)) * 400.0,
+            np.full(c, 3500.0),
+            rng.normal(size=c) + 20.0,
+            np.full(c, 1e-12),
+            np.full(c, 52.0),
+            np.full(c, 10.0 * np.log10(52.0)),
+            np.full(c, 20.0),
+            (rng.random((c, c)) > 0.5).astype(np.float64),
+            150.0,
+            0.3,
+        )
+        ref = numpy_backend.radio_step(*args)
+        with runtime.use(backend="numba"):
+            got = backends.active().radio_step(*args)
+        for a, b_ in zip(got, ref):
+            np.testing.assert_allclose(a, b_, rtol=1e-9, atol=1e-9)
+
+    def test_non_float64_delegates_to_numpy(self):
+        rng = np.random.default_rng(11)
+        x = Tensor(rng.normal(size=(2, 4, 3)).astype(np.float32))
+        h0 = Tensor(np.zeros((2, 5), dtype=np.float32))
+        c0 = Tensor(np.zeros((2, 5), dtype=np.float32))
+        w_ih = Tensor(rng.normal(size=(3, 20)).astype(np.float32))
+        w_hh = Tensor(rng.normal(size=(5, 20)).astype(np.float32))
+        b = Tensor(rng.normal(size=20).astype(np.float32))
+        out_np, _, _ = lstm_seq(x, h0, c0, w_ih, w_hh, b)
+        with runtime.use(backend="numba"):
+            out_nb, _, _ = lstm_seq(x, h0, c0, w_ih, w_hh, b)
+        assert np.array_equal(out_nb.data, out_np.data)

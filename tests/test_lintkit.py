@@ -246,6 +246,50 @@ def test_rl006_passes_on_order_and_allclose(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# RL007 backend discipline
+
+
+def test_rl007_fails_on_np_compute_in_kernel_dispatch(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        "import numpy as np\n"
+        "def lstm_seq(x):\n"
+        "    gates = np.matmul(x, x)\n"
+        "    return np.exp(gates)\n",
+        filename="repro/nn/kernels.py",
+        rules=["RL007"],
+    )
+    assert codes(result) == ["RL007"]
+    assert len(result.diagnostics) == 2
+
+
+def test_rl007_allows_alloc_and_optout(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        "import numpy as np\n"
+        "def seed(out):\n"
+        "    g = np.zeros_like(out)\n"
+        "    a = np.asarray(out)\n"
+        "    t = np.result_type(out, g)\n"
+        "    return np.tanh(a)  # lint: backend-impl\n",
+        filename="repro/nn/kernels.py",
+        rules=["RL007"],
+    )
+    assert result.ok
+
+
+def test_rl007_ignores_modules_outside_dispatch_layer(tmp_path):
+    result = lint_snippet(
+        tmp_path,
+        "import numpy as np\n"
+        "y = np.exp(np.zeros(3))\n",
+        filename="repro/backends/numpy_backend.py",
+        rules=["RL007"],
+    )
+    assert result.ok
+
+
+# ---------------------------------------------------------------------------
 # repo-level gates
 
 
@@ -299,8 +343,8 @@ def test_fix_catalog_preserves_manual_section(tmp_path):
 # registry, runner and CLI plumbing
 
 
-def test_registry_has_all_six_rules():
-    assert list(registered_checkers()) == [f"RL00{i}" for i in range(1, 7)]
+def test_registry_has_all_seven_rules():
+    assert list(registered_checkers()) == [f"RL00{i}" for i in range(1, 8)]
 
 
 def test_unknown_rule_code_raises():

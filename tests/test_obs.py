@@ -230,8 +230,12 @@ class TestManifest:
         assert manifest["metrics"]["counters"]["train.epochs"] == 4.0
         assert manifest["history"]["train_loss"] == [1.0, 0.5]
         assert set(manifest["kernel_paths"]) == {
+            "arena", "backend", "backend_resolved",
             "fused_kernels", "batched_cc", "vectorized_radio",
         }
+        assert manifest["kernel_paths"]["backend"] == "numpy"
+        assert manifest["kernel_paths"]["backend_resolved"] == "numpy"
+        assert manifest["tuning"]["fold_chunk_rows"] >= 1
 
     def test_config_hash_stable_and_sensitive(self):
         base = {"a": 1, "b": [1, 2]}

@@ -101,10 +101,16 @@ class TestExperimentConfig:
     def test_partial_runtime_filled_with_defaults(self):
         config = ExperimentConfig(runtime={"fused_kernels": False})
         assert config.runtime == {
+            "arena": True,
+            "backend": runtime.backend_name(),
             "batched_cc": True,
             "fused_kernels": False,
             "vectorized_radio": True,
         }
+
+    def test_runtime_backend_string_passes_through(self):
+        config = ExperimentConfig(runtime={"backend": "  NumPy "})
+        assert config.runtime["backend"] == "numpy"
 
     def test_run_dir_embeds_name_and_hash(self):
         config = ExperimentConfig(name="My Experiment!")

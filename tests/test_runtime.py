@@ -24,7 +24,25 @@ SHIMS = {
 
 class TestFlags:
     def test_defaults_all_on(self):
-        assert runtime.flags() == {name: True for name in runtime.FLAG_NAMES}
+        snapshot = runtime.flags()
+        assert {name: snapshot[name] for name in runtime.FLAG_NAMES} == {
+            name: True for name in runtime.FLAG_NAMES
+        }
+        assert set(snapshot) == set(runtime.ALL_FLAG_NAMES)
+
+    def test_backend_defaults_to_numpy(self):
+        assert runtime.flag("backend") == runtime.DEFAULT_BACKEND == "numpy"
+        assert runtime.backend_name() == "numpy"
+
+    def test_backend_value_flag_coerced_and_restored(self):
+        previous = runtime.set_flag("backend", "  NumPy  ")
+        assert previous == "numpy"
+        assert runtime.flag("backend") == "numpy"
+        with runtime.use(backend="nonexistent"):
+            assert runtime.backend_name() == "nonexistent"
+        assert runtime.backend_name() == "numpy"
+        with pytest.raises(ValueError, match="non-empty string"):
+            runtime.set_flag("backend", "   ")
 
     def test_set_flag_returns_previous(self):
         assert runtime.set_flag("fused_kernels", False) is True
