@@ -45,9 +45,12 @@ Run as a script (``scripts/perf_smoke.sh`` does this)::
 
 ``--check`` exits non-zero when the current end-to-end time regresses
 by more than 2x against the recorded baseline.  ``--obs-check`` exits
-non-zero when running with observability in ``trace`` mode slows a
-micro-workload by more than 5% over the disabled path.  Under pytest
-the same workload runs as a ``slow``-marked benchmark test.
+non-zero when observability slows a micro-workload by more than 5%
+over the disabled path — measured twice, once in ``trace`` mode with
+the sampler off and once in ``metrics`` mode with 25 Hz continuous
+telemetry (``obs_sample_hz``), so both the span path and the sampling
+thread stay inside the budget.  Under pytest the same workload runs as
+a ``slow``-marked benchmark test.
 
 All wall clocks come from ``repro.obs`` stopwatch spans
 (``obs.span(..., force=True)``), so running the bench under
@@ -74,6 +77,10 @@ RESULT_PATH = REPO_ROOT / "BENCH_perf.json"
 RESULT_SCHEMA = "bench-perf-v1"
 REGRESSION_FACTOR = 2.0
 OBS_OVERHEAD_LIMIT = 1.05
+
+#: sample rate used by the sampling-mode overhead gate — well above the
+#: 1-2 Hz production telemetry rates, so passing here leaves headroom.
+OBS_SAMPLE_CHECK_HZ = 25.0
 
 
 def _workload_params() -> Dict:
@@ -485,29 +492,35 @@ def run_workload(emit=print) -> Dict:
     return record
 
 
-def check_obs_overhead(emit=print, attempts: int = 3) -> bool:
-    """True when trace-mode observability costs <= 5% on a hot workload.
+def check_obs_overhead(emit=print, attempts: int = 3, sampling: bool = False) -> bool:
+    """True when observability costs <= 5% on a hot workload.
 
     Times a micro-workload (one fine-grained simulator run + a short
     Prism5G fit — the paths carrying per-step counters and per-epoch
-    spans) with observability off and in ``trace`` mode (spilling to a
-    temp directory), interleaved pairwise.  Guards the "disabled path
-    is a near-no-op, enabled path stays cheap" contract from DESIGN.md.
+    spans) with observability off and on, interleaved pairwise.  The
+    "on" state is ``trace`` mode by default; with ``sampling=True`` it
+    is instead ``metrics`` mode with the continuous-telemetry sampler
+    running at ``OBS_SAMPLE_CHECK_HZ`` (the ``sample_window`` regions
+    inside ``TraceSimulator.run`` and ``Trainer.fit`` start/stop the
+    daemon thread exactly as production runs do).  Guards the
+    "disabled path is a near-no-op, enabled path stays cheap" contract
+    from DESIGN.md.
 
     A failing measurement is retried (``attempts`` total): scheduler
     spikes on shared hosts inflate a single measurement far beyond 5%,
     while a genuine regression fails every attempt.
     """
+    label = "sampling" if sampling else "trace"
     for attempt in range(attempts):
-        if _measure_obs_overhead(emit):
+        if _measure_obs_overhead(emit, sampling=sampling):
             return True
         if attempt < attempts - 1:
-            emit(f"obs overhead attempt {attempt + 1}/{attempts} failed; re-measuring")
+            emit(f"obs {label} overhead attempt {attempt + 1}/{attempts} failed; re-measuring")
     return False
 
 
-def _measure_obs_overhead(emit) -> bool:
-    from repro import obs
+def _measure_obs_overhead(emit, sampling: bool = False) -> bool:
+    from repro import obs, runtime
     from repro.core import DeepConfig, Prism5GPredictor
     from repro.data import SubDatasetSpec, build_subdataset, random_split
     from repro.ran.simulator import TraceSimulator
@@ -526,9 +539,15 @@ def _measure_obs_overhead(emit) -> bool:
         sim.run(30.0)  # 300 steps: the per-step instrumented hot loop
         Prism5GPredictor(config).fit(train, val)
 
+    label = "sampling" if sampling else "trace"
+    on_mode = obs.MODE_METRICS if sampling else obs.MODE_TRACE
+    on_hz = OBS_SAMPLE_CHECK_HZ if sampling else 0
+
     spill_dir = tempfile.mkdtemp(prefix="repro-obs-check-")
+    previous_hz = runtime.flag("obs_sample_hz")
     try:
         obs.configure(mode=obs.MODE_OFF)
+        runtime.configure(obs_sample_hz=0)
         work()  # warmup (allocator, code paths)
         # interleave off/trace repeats and compare *pairwise*: the
         # workload is ~150ms, and host drift (frequency scaling, cache
@@ -543,17 +562,20 @@ def _measure_obs_overhead(emit) -> bool:
         pairs = []
         for _ in range(9):
             obs.configure(mode=obs.MODE_OFF)
+            runtime.configure(obs_sample_hz=0)
             gc.collect()
             t0 = time.perf_counter()
             work()
             off_t = time.perf_counter() - t0
-            obs.configure(mode=obs.MODE_TRACE, directory=spill_dir)
+            obs.configure(mode=on_mode, directory=spill_dir)
+            runtime.configure(obs_sample_hz=on_hz)
             gc.collect()
             t0 = time.perf_counter()
             work()
             pairs.append((off_t, time.perf_counter() - t0))
     finally:
         obs.configure()  # back to env-driven mode
+        runtime.configure(obs_sample_hz=previous_hz)
         obs.reset()
         shutil.rmtree(spill_dir, ignore_errors=True)
     ratios = sorted(on_t / off_t for off_t, on_t in pairs if off_t > 0)
@@ -567,7 +589,7 @@ def _measure_obs_overhead(emit) -> bool:
     ratio = min(median_ratio, min_ratio)
     ok = ratio <= OBS_OVERHEAD_LIMIT
     emit(
-        f"obs overhead check: off {off_s:.3f}s vs trace {on_s:.3f}s "
+        f"obs overhead check: off {off_s:.3f}s vs {label} {on_s:.3f}s "
         f"({ratio:.3f}x = min(median-pairwise {median_ratio:.3f}, best-of {min_ratio:.3f}), "
         f"limit {OBS_OVERHEAD_LIMIT:.2f}x) -> {'OK' if ok else 'FAIL'}"
     )
@@ -621,7 +643,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--obs-check", action="store_true",
-        help=f"fail when trace-mode observability overhead exceeds {OBS_OVERHEAD_LIMIT:.2f}x",
+        help=(
+            "fail when trace-mode or sampling-mode observability "
+            f"overhead exceeds {OBS_OVERHEAD_LIMIT:.2f}x"
+        ),
     )
     args = parser.parse_args(argv)
     record = run_workload()
@@ -630,6 +655,8 @@ def main(argv=None) -> int:
     if args.check and not check_regression(results):
         return 1
     if args.obs_check and not check_obs_overhead():
+        return 1
+    if args.obs_check and not check_obs_overhead(sampling=True):
         return 1
     return 0
 

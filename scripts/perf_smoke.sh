@@ -2,8 +2,9 @@
 # Perf smoke check: run the fused-kernel/no-grad/cache benchmark and
 # fail when the current path regresses >2x against the baseline stored
 # in BENCH_perf.json (the first run records the baseline and passes),
-# or when trace-mode observability adds >5% overhead to a hot
-# sim+train micro-workload (--obs-check).
+# or when observability adds >5% overhead to a hot sim+train
+# micro-workload (--obs-check runs the gate twice: trace mode with the
+# sampler off, then metrics mode with 25 Hz continuous telemetry).
 #
 # The gate is pinned to the numpy compute backend so the smoke check
 # stays dependency-light and comparable across hosts: numba timings are

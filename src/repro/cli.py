@@ -12,15 +12,24 @@ Usage (also installed as the ``repro5g`` console script):
     python -m repro.cli evaluate --list-predictors
     python -m repro.cli run examples/experiment_small.json
     python -m repro.cli train --obs trace --obs-dir .repro-obs ...
+    python -m repro.cli train --obs metrics --obs-sample-hz 2 ...
     python -m repro.cli obs report
     python -m repro.cli obs trace --chrome trace.json
+    python -m repro.cli obs top --last 20
+    python -m repro.cli obs export --prometheus
+    python -m repro.cli obs flame --out flame.txt
+    python -m repro.cli obs check-slo --budget budgets/fast_workload.json
     python -m repro.cli lint --format json
     python -m repro.cli lint --fix-catalog
 
 The ``--obs`` flag (or the ``REPRO_OBS`` env var) turns on the
 observability layer: ``metrics`` records counters/gauges/histograms and
 a run manifest, ``trace`` additionally spills a span timeline that
-``obs trace --chrome`` converts for ``chrome://tracing``.
+``obs trace --chrome`` converts for ``chrome://tracing``.  With
+``--obs-sample-hz`` (or ``REPRO_OBS_SAMPLE_HZ``) > 0, instrumented
+regions also stream continuous telemetry — time-series metric rows and
+collapsed stacks — that ``obs top`` / ``obs export`` / ``obs flame`` /
+``obs check-slo`` consume.
 """
 
 from __future__ import annotations
@@ -54,6 +63,14 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="directory for span/metric/manifest files (overrides REPRO_OBS_DIR)",
     )
+    parser.add_argument(
+        "--obs-sample-hz",
+        default=None,
+        help=(
+            "continuous-telemetry sample rate in Hz (overrides "
+            "REPRO_OBS_SAMPLE_HZ; 0 = off; needs --obs metrics|trace)"
+        ),
+    )
 
 
 def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
@@ -73,6 +90,8 @@ def _configure_obs(args: argparse.Namespace) -> None:
         obs.configure(mode=args.obs, directory=args.obs_dir)
     if getattr(args, "backend", None) is not None:
         runtime.configure(backend=args.backend)
+    if getattr(args, "obs_sample_hz", None) is not None:
+        runtime.configure(obs_sample_hz=args.obs_sample_hz)
 
 
 def _add_common_sim_args(parser: argparse.ArgumentParser) -> None:
@@ -279,6 +298,122 @@ def _cmd_obs_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_series_rows(rows: Sequence[dict]) -> str:
+    t0 = rows[0].get("t", 0.0) if rows else 0.0
+    table = []
+    for row in rows:
+        quantiles = row.get("quantiles") or {}
+        p95s = ", ".join(
+            f"{name}={q['p95']:.3g}" for name, q in sorted(quantiles.items()) if q and "p95" in q
+        )
+        table.append(
+            [
+                f"{row.get('t', 0.0) - t0:8.2f}",
+                row.get("pid", "-"),
+                row.get("window") or "-",
+                f"{row['rss_mb']:.1f}" if "rss_mb" in row else "-",
+                f"{row['cpu_pct']:.0f}" if "cpu_pct" in row else "-",
+                len(row.get("counters") or {}),
+                p95s or "-",
+            ]
+        )
+    return format_table(
+        ["t+s", "pid", "window", "rss MB", "cpu %", "#ctr", "histogram p95s"], table
+    )
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    directory = Path(args.dir) if args.dir else obs.obs_dir()
+    rows = obs.read_series(directory)
+    if not rows:
+        print(
+            f"no telemetry under {directory} "
+            "(run with --obs metrics --obs-sample-hz 2 first)",
+            file=sys.stderr,
+        )
+        return 1
+    print(_format_series_rows(rows[-args.last :]))
+    print(f"{len(rows)} rows from {len({r.get('pid') for r in rows})} process(es)")
+    return 0
+
+
+def _snapshot_from_dir(directory: Path) -> Optional[dict]:
+    """A run's metrics: the latest manifest's merged snapshot, else spills."""
+    manifest = obs.latest_manifest(directory)
+    if manifest is not None and manifest.get("metrics"):
+        return manifest["metrics"]
+    obs.configure(mode=obs.mode(), directory=directory)
+    snap = obs.merged_snapshot()
+    if snap.get("counters") or snap.get("gauges") or snap.get("histograms"):
+        return snap
+    return None
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    directory = Path(args.dir) if args.dir else obs.obs_dir()
+    snap = _snapshot_from_dir(directory)
+    if snap is None:
+        print(f"no metrics under {directory} (run with --obs metrics first)", file=sys.stderr)
+        return 1
+    text = obs.prometheus_text(snap) if args.prometheus else "\n".join(obs.jsonl_lines(snap)) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    directory = Path(args.dir) if args.dir else obs.obs_dir()
+    stacks = obs.read_flame(directory)
+    if not stacks:
+        print(
+            f"no flamegraph data under {directory} "
+            "(run with --obs metrics --obs-sample-hz 2 first)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.out:
+        lines = [f"{stack} {count}" for stack, count in sorted(stacks.items())]
+        Path(args.out).write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"wrote {args.out} ({len(stacks)} stacks; feed to flamegraph.pl or speedscope)")
+        return 0
+    total = sum(stacks.values())
+    top = sorted(stacks.items(), key=lambda kv: -kv[1])[: args.top]
+    rows = [[count, f"{100.0 * count / total:.1f}%", stack.split(";")[-1]] for stack, count in top]
+    print(format_table(["samples", "share", "leaf frame"], rows, title=f"{total} stack samples"))
+    return 0
+
+
+def _cmd_obs_check_slo(args: argparse.Namespace) -> int:
+    directory = Path(args.dir) if args.dir else obs.obs_dir()
+    try:
+        budget = obs.load_slo(args.budget)
+    except (OSError, ValueError) as exc:
+        print(f"{args.budget}: {exc}", file=sys.stderr)
+        return 2
+    snap = _snapshot_from_dir(directory) or {}
+    violations = obs.evaluate_slo(
+        budget,
+        snapshot=snap,
+        spans=obs.read_spans(directory),
+        series=obs.read_series(directory),
+    )
+    regression_limit = budget.get("budgets", {}).get("end_to_end_regression")
+    if regression_limit is not None:
+        trend = obs.check_bench_file(args.bench, limit=float(regression_limit))
+        if trend is not None:
+            violations.append(trend)
+    for violation in violations:
+        print(violation.message(), file=sys.stderr)
+    if violations:
+        print(f"FAIL: {len(violations)} SLO violation(s) against {args.budget}", file=sys.stderr)
+        return 1
+    print(f"OK: telemetry under {directory} within budget {args.budget}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro5g", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -356,6 +491,31 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--chrome", required=True, help="output path for the chrome://tracing JSON")
     trace_cmd.add_argument("--dir", default=None, help="obs directory (default: REPRO_OBS_DIR or .repro-obs)")
     trace_cmd.set_defaults(func=_cmd_obs_trace)
+    top = obs_sub.add_parser("top", help="tail of the continuous-telemetry series")
+    top.add_argument("--dir", default=None, help="obs directory (default: REPRO_OBS_DIR or .repro-obs)")
+    top.add_argument("--last", type=int, default=20, help="rows to show (default 20)")
+    top.set_defaults(func=_cmd_obs_top)
+    export_cmd = obs_sub.add_parser("export", help="export the run's metrics snapshot")
+    export_cmd.add_argument("--dir", default=None, help="obs directory (default: REPRO_OBS_DIR or .repro-obs)")
+    export_cmd.add_argument(
+        "--prometheus", action="store_true",
+        help="Prometheus text exposition instead of JSONL",
+    )
+    export_cmd.add_argument("--out", default=None, help="write here instead of stdout")
+    export_cmd.set_defaults(func=_cmd_obs_export)
+    flame = obs_sub.add_parser("flame", help="merged collapsed-stack flamegraph data")
+    flame.add_argument("--dir", default=None, help="obs directory (default: REPRO_OBS_DIR or .repro-obs)")
+    flame.add_argument("--out", default=None, help="write collapsed stacks here (flamegraph.pl input)")
+    flame.add_argument("--top", type=int, default=15, help="leaf frames to show without --out")
+    flame.set_defaults(func=_cmd_obs_flame)
+    check = obs_sub.add_parser("check-slo", help="evaluate telemetry against a perf budget")
+    check.add_argument("--budget", required=True, help="repro-slo-v1 JSON budget file")
+    check.add_argument("--dir", default=None, help="obs directory (default: REPRO_OBS_DIR or .repro-obs)")
+    check.add_argument(
+        "--bench", default="BENCH_perf.json",
+        help="BENCH_perf.json for the end_to_end_regression trend check",
+    )
+    check.set_defaults(func=_cmd_obs_check_slo)
     return parser
 
 

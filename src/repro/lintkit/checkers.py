@@ -143,6 +143,7 @@ _MIRROR_MODULES: Dict[str, FrozenSet[str]] = {
     "repro.ran.simulator": frozenset({"_VECTORIZED_RADIO"}),
     "repro.backends": frozenset({"_ACTIVE", "_REQUESTED"}),
     "repro.backends.arena": frozenset({"_ARENA_ENABLED"}),
+    "repro.obs": frozenset({"_SAMPLE_HZ"}),
 }
 
 #: flag names are additionally rejected as import targets from
@@ -151,7 +152,9 @@ _MIRROR_MODULES: Dict[str, FrozenSet[str]] = {
 #: mirror modules legitimately export same-named *callables* — e.g.
 #: ``repro.nn.modules.fused_kernels`` is a context manager — so only
 #: their private mirror globals are forbidden there.)
-_FLAG_NAMES = frozenset({"arena", "backend", "fused_kernels", "batched_cc", "vectorized_radio"})
+_FLAG_NAMES = frozenset(
+    {"arena", "backend", "fused_kernels", "batched_cc", "obs_sample_hz", "vectorized_radio"}
+)
 
 
 def _resolve_relative(ctx: FileContext, node: ast.ImportFrom) -> Optional[str]:

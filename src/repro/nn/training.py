@@ -155,7 +155,9 @@ class Trainer:
         stale = 0
         instrumented = obs.metrics_enabled()
         try:
-            with obs.span(
+            # sample_window: continuous telemetry (series rows tagged
+            # "train") while epochs run; no-op unless obs_sample_hz > 0
+            with obs.sample_window("train"), obs.span(
                 "train.fit",
                 model=type(self.model).__name__,
                 samples=len(x_train),

@@ -1,0 +1,230 @@
+"""Exporters: Prometheus text exposition and JSONL over any snapshot.
+
+Two serializations of the registry's plain-dict snapshots
+(:meth:`repro.obs.metrics.MetricsRegistry.snapshot` or the
+cross-process :func:`repro.obs.merged_snapshot`):
+
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (v0.0.4): counters as ``<name>_total``, gauges verbatim, histograms
+  as cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``
+  and ``_min``/``_max`` companion gauges.  Dotted obs names are
+  sanitized to ``[a-zA-Z0-9_]`` metric names, but every family carries
+  a ``# HELP`` line holding the *original* dotted name, so
+  :func:`parse_prometheus_text` round-trips a snapshot losslessly —
+  the export acceptance gate diffs ``parse(export(snap))`` against
+  ``snap`` for every catalog metric.
+
+* :func:`jsonl_lines` / :func:`write_jsonl` — one self-describing JSON
+  object per metric (``{"kind", "name", "value"| histogram fields}``),
+  the format downstream collectors and the ``repro5g obs export``
+  default consume.
+
+Floats are rendered with :func:`repr`-equivalent 17-significant-digit
+fidelity so parse→format→parse is exact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+_LEADING_RE = re.compile(r"^[^a-zA-Z_]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map a dotted obs name onto the Prometheus metric-name grammar."""
+    clean = _SANITIZE_RE.sub("_", name)
+    if _LEADING_RE.match(clean):
+        clean = "_" + clean
+    return clean
+
+
+def _fmt(value: float) -> str:
+    """Render a float losslessly (repr round-trips in Python 3)."""
+    f = float(value)
+    if math.isinf(f):
+        return "+Inf" if f > 0 else "-Inf"
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def prometheus_text(snap: Mapping) -> str:
+    """Serialize a metrics snapshot to Prometheus text exposition."""
+    lines: List[str] = []
+
+    def family(name: str, suffix: str, kind: str) -> str:
+        metric = sanitize_name(name) + suffix
+        lines.append(f"# HELP {metric} {name}")
+        lines.append(f"# TYPE {metric} {kind}")
+        return metric
+
+    for name in sorted(snap.get("counters", {})):
+        metric = family(name, "_total", "counter")
+        lines.append(f"{metric} {_fmt(snap['counters'][name])}")
+    for name in sorted(snap.get("gauges", {})):
+        metric = family(name, "", "gauge")
+        lines.append(f"{metric} {_fmt(snap['gauges'][name])}")
+    for name in sorted(snap.get("histograms", {})):
+        hist = snap["histograms"][name]
+        metric = family(name, "", "histogram")
+        cumulative = 0
+        for bound, count in zip(hist.get("buckets", []), hist.get("counts", [])):
+            cumulative += int(count)
+            lines.append(f'{metric}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {int(hist.get("count", 0))}')
+        lines.append(f"{metric}_sum {_fmt(float(hist.get('sum', 0.0)))}")
+        lines.append(f"{metric}_count {int(hist.get('count', 0))}")
+        # min/max sidecars have no Prometheus histogram slot; export as
+        # companion gauges so the quantile clamp survives a round trip.
+        for side in ("min", "max"):
+            value = hist.get(side)
+            if value is not None:
+                side_metric = family(f"{name}.{side}", "", "gauge")
+                lines.append(f"{side_metric} {_fmt(float(value))}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_num(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> Dict:
+    """Parse :func:`prometheus_text` output back into a snapshot dict.
+
+    Uses the ``# HELP`` lines (which carry the original dotted names) to
+    undo name sanitization; histogram ``_min``/``_max`` companion gauges
+    fold back into the histogram's sidecars.  Only intended for output
+    of :func:`prometheus_text` — it is the round-trip check, not a
+    general scrape parser.
+    """
+    helps: Dict[str, str] = {}
+    types: Dict[str, str] = {}
+    snap: Dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            metric, _, original = rest.partition(" ")
+            helps[metric] = original
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            metric, _, kind = rest.partition(" ")
+            types[metric] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        sample, _, value_text = line.rpartition(" ")
+        if not sample:
+            continue
+        value = _parse_num(value_text)
+        metric, _, label_part = sample.partition("{")
+        if metric in types and types[metric] == "counter":
+            snap["counters"][helps.get(metric, metric)] = value
+            continue
+        if metric in types and types[metric] == "gauge":
+            snap["gauges"][helps.get(metric, metric)] = value
+            continue
+        # histogram series: metric is "<family>_bucket" / "_sum" / "_count"
+        for suffix in ("_bucket", "_sum", "_count"):
+            if metric.endswith(suffix) and metric[: -len(suffix)] in types:
+                fam = metric[: -len(suffix)]
+                name = helps.get(fam, fam)
+                hist = snap["histograms"].setdefault(
+                    name, {"buckets": [], "counts": [], "count": 0, "sum": 0.0,
+                           "min": None, "max": None, "_cumulative": []}
+                )
+                if suffix == "_bucket":
+                    bound = label_part.rstrip("}").partition('le="')[2].rstrip('"')
+                    if bound != "+Inf":
+                        hist["buckets"].append(_parse_num(bound))
+                    hist["_cumulative"].append(int(value))
+                elif suffix == "_sum":
+                    hist["sum"] = value
+                else:
+                    hist["count"] = int(value)
+                break
+    # de-cumulate bucket counts; fold min/max companion gauges back in
+    for name, hist in snap["histograms"].items():
+        cumulative = hist.pop("_cumulative", [])
+        counts: List[int] = []
+        prev = 0
+        for c in cumulative:
+            counts.append(c - prev)
+            prev = c
+        hist["counts"] = counts
+        for side in ("min", "max"):
+            companion = f"{name}.{side}"
+            if companion in snap["gauges"]:
+                hist[side] = snap["gauges"].pop(companion)
+    return snap
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+
+
+def jsonl_lines(snap: Mapping) -> List[str]:
+    """One self-describing JSON object per metric, sorted by name."""
+    lines: List[str] = []
+    for name in sorted(snap.get("counters", {})):
+        lines.append(json.dumps(
+            {"kind": "counter", "name": name, "value": snap["counters"][name]},
+            sort_keys=True))
+    for name in sorted(snap.get("gauges", {})):
+        lines.append(json.dumps(
+            {"kind": "gauge", "name": name, "value": snap["gauges"][name]},
+            sort_keys=True))
+    for name in sorted(snap.get("histograms", {})):
+        record = {"kind": "histogram", "name": name}
+        record.update(snap["histograms"][name])
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    return lines
+
+
+def write_jsonl(snap: Mapping, path: Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(jsonl_lines(snap)) + "\n", encoding="utf-8")
+    return path
+
+
+def write_prometheus(snap: Mapping, path: Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(snap), encoding="utf-8")
+    return path
+
+
+def snapshots_equal(a: Mapping, b: Mapping) -> bool:
+    """Structural equality of two snapshots (float-exact); round-trip gate."""
+
+    def canon(snap: Mapping) -> Dict:
+        out: Dict = {
+            "counters": {k: float(v) for k, v in snap.get("counters", {}).items()},
+            "gauges": {k: float(v) for k, v in snap.get("gauges", {}).items()},
+            "histograms": {},
+        }
+        for name, hist in snap.get("histograms", {}).items():
+            out["histograms"][name] = {
+                "buckets": [float(x) for x in hist.get("buckets", [])],
+                "counts": [int(x) for x in hist.get("counts", [])],
+                "count": int(hist.get("count", 0)),
+                "sum": float(hist.get("sum", 0.0)),
+                "min": None if hist.get("min") is None else float(hist["min"]),
+                "max": None if hist.get("max") is None else float(hist["max"]),
+            }
+        return out
+
+    return canon(a) == canon(b)

@@ -4,8 +4,9 @@ The registry is deliberately tiny — plain dicts behind one lock — so a
 guarded increment costs well under a microsecond and the disabled path
 (see :mod:`repro.obs`) never touches it at all.  Snapshots are plain
 JSON-ready dicts; cross-process aggregation merges worker snapshots
-spilled by the tracer (counters and histograms sum, gauges are
-last-write-wins per process and only the local process's survive).
+spilled by the tracer (counters and histograms sum; gauges stay
+last-write-wins per process, and worker gauges merge under a
+``<name>.pid<N>`` suffix so they survive pool teardown).
 """
 
 from __future__ import annotations
@@ -59,10 +60,18 @@ class Histogram:
             "max": self.max if self.count else None,
         }
 
-    def merge_snapshot(self, snap: Mapping) -> None:
-        """Fold another histogram snapshot in (matching buckets only)."""
+    def merge_snapshot(self, snap: Mapping) -> bool:
+        """Fold another histogram snapshot in (matching buckets only).
+
+        Returns ``False`` — without touching local data — when the
+        snapshot's bucket layout differs from ours: summing counts
+        across mismatched bounds would silently corrupt quantiles.
+        Callers (the registry merge) publish the refusal as the
+        ``obs.merge.bucket_mismatch`` counter so dropped worker data is
+        visible rather than quietly vanishing.
+        """
         if list(snap.get("buckets", [])) != list(self.buckets):
-            return  # incompatible layout: keep local data rather than guess
+            return False  # incompatible layout: keep local data rather than guess
         for i, c in enumerate(snap.get("counts", [])):
             if i < len(self.counts):
                 self.counts[i] += int(c)
@@ -72,6 +81,7 @@ class Histogram:
             other = snap.get(key)
             if other is not None:
                 setattr(self, key, pick(getattr(self, key), float(other)))
+        return True
 
 
 class MetricsRegistry:
@@ -116,16 +126,36 @@ class MetricsRegistry:
                 "histograms": {k: h.snapshot() for k, h in self._histograms.items()},
             }
 
-    def merge_snapshot(self, snap: Mapping) -> None:
-        """Fold a worker snapshot in: counters/histograms sum, gauges skipped."""
+    def merge_snapshot(self, snap: Mapping, gauge_pid: Optional[int] = None) -> None:
+        """Fold a worker snapshot in: counters and histograms sum.
+
+        Gauges are point-in-time values, so a plain sum is meaningless:
+        local names stay last-write-wins, and worker gauges are merged
+        only when the caller supplies the worker's ``gauge_pid`` — each
+        arrives under a ``<name>.pid<N>`` suffix, so e.g. a campaign
+        worker's peak-RSS gauge survives pool teardown without ever
+        colliding with (or overwriting) the parent's own value.
+
+        A histogram snapshot whose bucket layout differs from the local
+        registration cannot be summed; the refusal is published as the
+        ``obs.merge.bucket_mismatch`` counter (one increment per dropped
+        snapshot) instead of being silently swallowed.
+        """
         for name, value in snap.get("counters", {}).items():
             self.counter(name, value)
+        mismatched = 0
         with self._lock:
             for name, hsnap in snap.get("histograms", {}).items():
                 hist = self._histograms.get(name)
                 if hist is None:
                     hist = self._histograms[name] = Histogram(hsnap.get("buckets") or DEFAULT_BUCKETS)
-                hist.merge_snapshot(hsnap)
+                if not hist.merge_snapshot(hsnap):
+                    mismatched += 1
+        if gauge_pid is not None:
+            for name, value in snap.get("gauges", {}).items():
+                self.gauge(f"{name}.pid{int(gauge_pid)}", value)
+        if mismatched:
+            self.counter("obs.merge.bucket_mismatch", mismatched)
 
     def reset(self) -> None:
         with self._lock:

@@ -1,0 +1,217 @@
+"""Resource and stack sampling: RSS/CPU/GC readings plus flamegraphs.
+
+Two samplers that the telemetry thread (:mod:`repro.obs.timeseries`)
+ticks once per interval:
+
+* :class:`ResourceSampler` — process RSS from ``/proc/self/statm``
+  (falling back to ``resource.getrusage`` off-Linux), CPU utilisation
+  from ``os.times`` deltas, and cumulative GC collections from
+  :mod:`gc`.  No psutil: everything comes from the stdlib and procfs.
+  Each reading is also published as ``obs.rss.mb`` /
+  ``obs.rss.peak_mb`` / ``obs.cpu.pct`` / ``obs.gc.collections``
+  gauges, so peak RSS survives into manifests and — via the
+  ``<name>.pid<N>`` gauge merge — across campaign worker teardown.
+
+* :class:`StackSampler` — a low-overhead interval stack sampler:
+  ``sys._current_frames()`` is walked for every thread (except the
+  sampling thread itself), frames collapse to
+  ``module:function;module:function`` strings, and identical stacks
+  accumulate counts — exactly the collapsed-stack format Brendan
+  Gregg's ``flamegraph.pl`` (or speedscope) consumes.  Stacks spill to
+  ``flame-<pid>.txt`` and :func:`read_flame` merges files across
+  processes.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+FLAME_FILE_PREFIX = "flame-"
+
+#: frames deeper than this are truncated (runaway recursion guard)
+_MAX_STACK_DEPTH = 64
+
+_PAGE_SIZE = 4096
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (ValueError, OSError, AttributeError):  # pragma: no cover - exotic hosts
+    pass
+
+
+def read_rss_mb() -> Optional[float]:
+    """Resident set size in MiB, or ``None`` when unreadable.
+
+    Primary source is ``/proc/self/statm`` (second field, pages);
+    off-Linux the ``resource`` module's peak-RSS is used as a proxy.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE / (1024.0 * 1024.0)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:  # pragma: no cover - non-procfs hosts
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return float(peak_kb) / 1024.0
+    except (ImportError, OSError, ValueError):  # pragma: no cover
+        return None
+
+
+def cpu_seconds() -> float:
+    """Cumulative user+system CPU seconds of this process."""
+    t = os.times()
+    return float(t.user + t.system)
+
+
+def gc_collections() -> int:
+    """Total GC collections across all generations so far."""
+    try:
+        return int(sum(s.get("collections", 0) for s in gc.get_stats()))
+    except (AttributeError, TypeError):  # pragma: no cover - minimal runtimes
+        return 0
+
+
+class ResourceSampler:
+    """Per-tick RSS/CPU/GC readings with a running peak-RSS watermark."""
+
+    def __init__(self) -> None:
+        self.peak_rss_mb = 0.0
+        self._last_cpu_s = cpu_seconds()
+        self._last_wall = time.perf_counter()
+
+    def sample(self) -> Dict[str, float]:
+        """One reading: ``{"rss_mb", "peak_rss_mb", "cpu_pct", "gc_collections"}``.
+
+        ``cpu_pct`` is CPU time consumed since the previous call divided
+        by the wall time elapsed (×100; can exceed 100 on multithreaded
+        phases).  Also publishes the readings as obs gauges when metrics
+        are enabled.
+        """
+        now = time.perf_counter()
+        cpu_s = cpu_seconds()
+        wall_dt = now - self._last_wall
+        cpu_pct = 100.0 * (cpu_s - self._last_cpu_s) / wall_dt if wall_dt > 0 else 0.0
+        self._last_wall = now
+        self._last_cpu_s = cpu_s
+        rss = read_rss_mb()
+        reading: Dict[str, float] = {
+            "cpu_pct": round(cpu_pct, 2),
+            "gc_collections": gc_collections(),
+        }
+        if rss is not None:
+            if rss > self.peak_rss_mb:
+                self.peak_rss_mb = rss
+            reading["rss_mb"] = round(rss, 2)
+            reading["peak_rss_mb"] = round(self.peak_rss_mb, 2)
+        from repro import obs  # function-scope: repro.obs imports this module
+
+        if obs.metrics_enabled():
+            if rss is not None:
+                obs.gauge("obs.rss.mb", reading["rss_mb"])
+                obs.gauge("obs.rss.peak_mb", reading["peak_rss_mb"])
+            obs.gauge("obs.cpu.pct", reading["cpu_pct"])
+            obs.gauge("obs.gc.collections", reading["gc_collections"])
+        return reading
+
+
+class StackSampler:
+    """Interval stack sampler emitting collapsed-stack flamegraph lines."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+        self._skip: Set[int] = set()
+        self._lock = threading.Lock()
+        self.samples = 0
+
+    def skip_thread(self, ident: int) -> None:
+        """Exclude a thread (the sampler's own) from collection."""
+        self._skip.add(int(ident))
+
+    def sample_once(self) -> int:
+        """Collapse every live thread's stack once; returns stacks taken."""
+        taken = 0
+        frames = sys._current_frames()
+        for ident, frame in frames.items():
+            if ident in self._skip:
+                continue
+            parts: List[str] = []
+            f = frame
+            while f is not None and len(parts) < _MAX_STACK_DEPTH:
+                module = f.f_globals.get("__name__", "?")
+                parts.append(f"{module}:{f.f_code.co_name}")
+                f = f.f_back
+            if not parts:
+                continue
+            key = ";".join(reversed(parts))  # root first, leaf last
+            with self._lock:
+                self._counts[key] = self._counts.get(key, 0) + 1
+            taken += 1
+        self.samples += taken
+        from repro import obs  # function-scope: repro.obs imports this module
+
+        obs.counter("obs.flame.samples", taken)
+        return taken
+
+    def collapsed(self) -> Dict[str, int]:
+        """Snapshot of stack → sample count."""
+        with self._lock:
+            return dict(self._counts)
+
+    def write(self, path: Path) -> Path:
+        """Rewrite ``path`` with the cumulative collapsed stacks."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [f"{stack} {count}" for stack, count in sorted(self.collapsed().items())]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+        return path
+
+    def write_dir(self, directory: Path) -> Optional[Path]:
+        """Spill to ``<directory>/flame-<pid>.txt`` (counts are cumulative)."""
+        try:
+            return self.write(Path(directory) / f"{FLAME_FILE_PREFIX}{os.getpid()}.txt")
+        except OSError:  # pragma: no cover - read-only dirs
+            return None
+
+
+def merge_collapsed(stacks: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Sum several collapsed-stack dicts into one."""
+    merged: Dict[str, int] = {}
+    for table in stacks:
+        for stack, count in table.items():
+            merged[stack] = merged.get(stack, 0) + int(count)
+    return merged
+
+
+def read_flame(directory: Path) -> Dict[str, int]:
+    """Merge every ``flame-*.txt`` under ``directory`` (stack → count)."""
+    directory = Path(directory)
+    tables: List[Dict[str, int]] = []
+    if not directory.exists():
+        return {}
+    for path in sorted(directory.glob(f"{FLAME_FILE_PREFIX}*.txt")):
+        table: Dict[str, int] = {}
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            stack, _, count = line.rpartition(" ")
+            if not stack:
+                continue
+            try:
+                table[stack] = table.get(stack, 0) + int(count)
+            except ValueError:
+                continue
+        tables.append(table)
+    return merge_collapsed(tables)

@@ -1,0 +1,194 @@
+"""Declarative perf budgets (SLOs) evaluated against run telemetry.
+
+A budget file (schema ``repro-slo-v1``) states what a healthy run looks
+like::
+
+    {
+      "schema": "repro-slo-v1",
+      "budgets": {
+        "stage_wall_s":  {"pipeline.stage.train": 30.0, "pipeline": 120.0},
+        "peak_rss_mb":   2048,
+        "counter_max":   {"obs.sample.drops": 0, "*.spill_error": 0},
+        "counter_min":   {"obs.sample.ticks": 1},
+        "end_to_end_regression": 1.15
+      }
+    }
+
+``stage_wall_s`` keys are :mod:`fnmatch` globs over *span names* (the
+limit bounds the longest matching span); ``counter_max`` /
+``counter_min`` globs match counter names in the merged snapshot;
+``peak_rss_mb`` bounds the ``obs.rss.peak_mb`` gauge family (including
+``.pid<N>``-suffixed worker gauges) and any ``peak_rss_mb`` column in
+the telemetry series.  :func:`evaluate_slo` returns
+:class:`Violation` records (and publishes ``obs.slo.violations``);
+``repro5g obs check-slo`` exits non-zero when any are returned.
+
+``end_to_end_regression`` feeds :func:`check_bench_trend`, the
+``BENCH_perf.json`` trend gate: the latest recorded ``end_to_end``
+wall time may not exceed the stored baseline by more than the given
+ratio (default 1.15, i.e. >15% regression fails).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+SLO_SCHEMA = "repro-slo-v1"
+
+#: default end-to-end trend limit: >15% slower than baseline fails.
+DEFAULT_REGRESSION_LIMIT = 1.15
+
+_BUDGET_KEYS = frozenset(
+    {"stage_wall_s", "peak_rss_mb", "counter_max", "counter_min", "end_to_end_regression"}
+)
+
+
+@dataclass
+class Violation:
+    """One budget breach: what was bounded, the limit, what happened."""
+
+    budget: str
+    subject: str
+    limit: float
+    actual: float
+
+    def message(self) -> str:
+        return (
+            f"SLO violation [{self.budget}] {self.subject}: "
+            f"actual {self.actual:g} exceeds budget {self.limit:g}"
+            if self.budget != "counter_min"
+            else f"SLO violation [{self.budget}] {self.subject}: "
+            f"actual {self.actual:g} below required {self.limit:g}"
+        )
+
+
+def load_slo(path: Path) -> Dict:
+    """Load and validate a ``repro-slo-v1`` budget file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != SLO_SCHEMA:
+        raise ValueError(f"{path}: expected an SLO file with schema {SLO_SCHEMA!r}")
+    budgets = data.get("budgets")
+    if not isinstance(budgets, dict):
+        raise ValueError(f"{path}: 'budgets' must be an object")
+    unknown = set(budgets) - _BUDGET_KEYS
+    if unknown:
+        raise ValueError(f"{path}: unknown budget keys {sorted(unknown)}")
+    return data
+
+
+def _peak_rss_candidates(snapshot: Mapping, series: Sequence[Mapping]) -> Dict[str, float]:
+    """Every peak-RSS reading available: gauges (incl. workers) + series."""
+    candidates: Dict[str, float] = {}
+    for name, value in snapshot.get("gauges", {}).items():
+        if name == "obs.rss.peak_mb" or name.startswith("obs.rss.peak_mb.pid"):
+            candidates[name] = float(value)
+    for row in series:
+        value = row.get("peak_rss_mb")
+        if value is not None:
+            key = f"series.pid{row.get('pid', 0)}"
+            candidates[key] = max(candidates.get(key, 0.0), float(value))
+    return candidates
+
+
+def evaluate_slo(
+    slo: Mapping,
+    snapshot: Optional[Mapping] = None,
+    spans: Optional[Sequence[Mapping]] = None,
+    series: Optional[Sequence[Mapping]] = None,
+) -> List[Violation]:
+    """Check a run's telemetry against a budget; returns all breaches.
+
+    ``snapshot`` is a (merged) metrics snapshot, ``spans`` the span
+    dicts from ``read_spans``, ``series`` the telemetry rows from
+    ``read_series`` — pass whatever the run produced; budgets whose
+    inputs are absent are skipped, except ``counter_min`` (a missing
+    counter *is* the violation: required work never happened).
+    """
+    budgets = dict(slo.get("budgets", {}))
+    snapshot = snapshot or {}
+    spans = list(spans or [])
+    series = list(series or [])
+    violations: List[Violation] = []
+
+    for pattern, limit in dict(budgets.get("stage_wall_s", {})).items():
+        worst: Optional[Mapping] = None
+        for s in spans:
+            if fnmatchcase(str(s.get("name", "")), pattern):
+                if worst is None or float(s.get("dur", 0.0)) > float(worst.get("dur", 0.0)):
+                    worst = s
+        if worst is not None and float(worst.get("dur", 0.0)) > float(limit):
+            violations.append(
+                Violation("stage_wall_s", str(worst["name"]), float(limit), float(worst["dur"]))
+            )
+
+    rss_limit = budgets.get("peak_rss_mb")
+    if rss_limit is not None:
+        for subject, value in sorted(_peak_rss_candidates(snapshot, series).items()):
+            if value > float(rss_limit):
+                violations.append(Violation("peak_rss_mb", subject, float(rss_limit), value))
+
+    counters = snapshot.get("counters", {})
+    for pattern, limit in dict(budgets.get("counter_max", {})).items():
+        for name in sorted(counters):
+            if fnmatchcase(name, pattern) and float(counters[name]) > float(limit):
+                violations.append(
+                    Violation("counter_max", name, float(limit), float(counters[name]))
+                )
+    for pattern, limit in dict(budgets.get("counter_min", {})).items():
+        matched = [name for name in sorted(counters) if fnmatchcase(name, pattern)]
+        if not matched:
+            violations.append(Violation("counter_min", pattern, float(limit), 0.0))
+            continue
+        for name in matched:
+            if float(counters[name]) < float(limit):
+                violations.append(
+                    Violation("counter_min", name, float(limit), float(counters[name]))
+                )
+
+    if violations:
+        from repro import obs  # function-scope: repro.obs imports this module
+
+        obs.counter("obs.slo.violations", len(violations))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# BENCH_perf.json trend gate
+
+
+def check_bench_trend(
+    bench: Mapping, limit: float = DEFAULT_REGRESSION_LIMIT
+) -> Optional[Violation]:
+    """End-to-end trend check over a ``BENCH_perf.json`` payload.
+
+    Compares ``latest.current_s.end_to_end`` against
+    ``baseline.current_s.end_to_end``; a ratio above ``limit`` (default
+    1.15 — >15% slower) returns a :class:`Violation`, otherwise
+    ``None``.  Missing baseline or latest sections pass (first run).
+    """
+    baseline = bench.get("baseline", {}).get("current_s", {}).get("end_to_end")
+    latest = bench.get("latest", {}).get("current_s", {}).get("end_to_end")
+    if not baseline or not latest:
+        return None
+    ratio = float(latest) / float(baseline)
+    if ratio > float(limit):
+        return Violation("end_to_end_regression", "BENCH_perf.json", float(limit), round(ratio, 4))
+    return None
+
+
+def check_bench_file(
+    path: Path, limit: float = DEFAULT_REGRESSION_LIMIT
+) -> Optional[Violation]:
+    """:func:`check_bench_trend` over a file; a missing file passes."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        bench = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    return check_bench_trend(bench, limit)

@@ -1,0 +1,334 @@
+"""Continuous telemetry: a bounded ring-buffer time-series sampler.
+
+Where :func:`repro.obs.snapshot` answers "what do the metrics say
+*now*", this module answers "what did they look like *over time*": a
+daemon thread snapshots selected counters, gauges, and
+histogram-derived quantiles (p50/p95/p99 via in-bucket linear
+interpolation) at a configurable interval, keeps the last N rows in a
+bounded :class:`RingBuffer`, and appends every row to a per-pid
+``series-<pid>.jsonl`` spill file that merges across processes exactly
+like the tracer's span spills (:func:`read_series` is the analogue of
+``read_spans``).
+
+Lifetime rules (DESIGN §6f): the sampler only runs inside refcounted
+:func:`repro.obs.sample_window` regions — the first window entered
+starts the daemon thread, the last one exited stops and flushes it, and
+nothing at all happens (no thread, no allocation) unless observability
+is on *and* the ``obs_sample_hz`` runtime flag is positive.  The clock
+is injectable (:class:`SampleClock`) so ring-buffer wraparound and row
+contents are deterministic under test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+SERIES_FILE_PREFIX = "series-"
+
+#: quantiles every sampled histogram is reduced to, with their row keys.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def _q_key(q: float) -> str:
+    return "p" + format(q * 100.0, "g")
+
+
+def bucket_quantiles(
+    snap: Mapping, qs: Sequence[float] = DEFAULT_QUANTILES
+) -> Optional[Dict[str, float]]:
+    """Quantiles of a histogram snapshot via in-bucket linear interpolation.
+
+    Works on the plain-dict snapshots produced by
+    :meth:`repro.obs.metrics.Histogram.snapshot`: for quantile ``q`` the
+    target rank ``q * count`` is located in the cumulative bucket
+    counts, then interpolated linearly between the containing bucket's
+    edges.  The first bucket's lower edge and the overflow bucket's
+    upper edge are taken from the recorded ``min``/``max`` sidecars, and
+    results are clamped to ``[min, max]`` — so estimates never leave the
+    observed range and are monotone in ``q`` (p50 <= p95 <= p99).
+
+    Returns ``None`` for an empty histogram (no observations).
+    """
+    count = int(snap.get("count", 0) or 0)
+    if count <= 0:
+        return None
+    buckets = [float(b) for b in snap.get("buckets", [])]
+    counts = [int(c) for c in snap.get("counts", [])]
+    lo_raw = snap.get("min")
+    hi_raw = snap.get("max")
+    lo = float(lo_raw) if lo_raw is not None else (buckets[0] if buckets else 0.0)
+    hi = float(hi_raw) if hi_raw is not None else (buckets[-1] if buckets else lo)
+    result: Dict[str, float] = {}
+    for q in qs:
+        rank = min(max(float(q), 0.0), 1.0) * count
+        cum = 0
+        value = hi
+        for i, c in enumerate(counts):
+            if c <= 0:
+                continue
+            prev = cum
+            cum += c
+            if cum >= rank:
+                lower = lo if i == 0 else buckets[i - 1]
+                upper = hi if i >= len(buckets) else buckets[i]
+                frac = (rank - prev) / c if c else 0.0
+                value = lower + (upper - lower) * frac
+                break
+        result[_q_key(q)] = min(max(value, lo), hi)
+    return result
+
+
+class RingBuffer:
+    """Fixed-capacity append-only buffer; oldest entries are overwritten.
+
+    Bounds the sampler's memory no matter how long a run is: a campaign
+    sampled at 2 Hz for hours still holds only ``capacity`` rows in
+    memory (the JSONL spill keeps the full series on disk).  ``dropped``
+    counts overwritten entries.
+    """
+
+    __slots__ = ("_slots", "_next", "appended")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("ring buffer capacity must be >= 1")
+        self._slots: List[Optional[Dict]] = [None] * capacity
+        self._next = 0
+        self.appended = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self.appended - len(self._slots))
+
+    def __len__(self) -> int:
+        return min(self.appended, len(self._slots))
+
+    def append(self, item: Dict) -> bool:
+        """Store ``item``; returns True when an old entry was overwritten."""
+        overwrote = self._slots[self._next] is not None
+        self._slots[self._next] = item
+        self._next = (self._next + 1) % len(self._slots)
+        self.appended += 1
+        return overwrote
+
+    def items(self) -> List[Dict]:
+        """Buffered rows, oldest first."""
+        ordered = self._slots[self._next :] + self._slots[: self._next]
+        return [item for item in ordered if item is not None]
+
+
+class SampleClock:
+    """The sampler's time source: monotonic ``now`` + interruptible wait.
+
+    Tests substitute a scripted clock (fixed tick times, non-blocking
+    waits) so sampled rows — including ring wraparound — are
+    deterministic; the default reads ``time.perf_counter`` and waits on
+    an event that :meth:`wake` sets to stop the loop promptly.
+    """
+
+    def __init__(self) -> None:
+        self._stop = threading.Event()
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def wait(self, timeout: float) -> bool:
+        """Sleep up to ``timeout``; True means "stop sampling"."""
+        return self._stop.wait(timeout)
+
+    def wake(self) -> None:
+        self._stop.set()
+
+
+class TimeSeriesSampler:
+    """Samples a metrics snapshot into a ring buffer + JSONL spill.
+
+    Parameters
+    ----------
+    interval_s:
+        Seconds between samples (``1 / obs_sample_hz``).
+    source:
+        Zero-arg callable returning a metrics snapshot dict
+        (``{"counters": ..., "gauges": ..., "histograms": ...}``);
+        the obs facade wires in :func:`repro.obs.snapshot`.
+    resources / stacks:
+        Optional :class:`repro.obs.sampler.ResourceSampler` /
+        :class:`repro.obs.sampler.StackSampler` ticked alongside the
+        metrics so one thread produces the whole telemetry row.
+    directory:
+        Spill directory for ``series-<pid>.jsonl`` (``None`` = memory
+        only).
+    """
+
+    def __init__(
+        self,
+        interval_s: float,
+        source: Optional[Callable[[], Mapping]] = None,
+        resources: Optional[object] = None,
+        stacks: Optional[object] = None,
+        directory: Optional[Path] = None,
+        capacity: int = 720,
+        clock: Optional[SampleClock] = None,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = float(interval_s)
+        self.source = source or (lambda: {})
+        self.resources = resources
+        self.stacks = stacks
+        self.directory = Path(directory) if directory is not None else None
+        self.ring = RingBuffer(capacity)
+        self.clock = clock or SampleClock()
+        self.quantiles = tuple(quantiles)
+        self.pid = os.getpid()
+        self._labels: List[str] = []
+        self._lock = threading.Lock()
+        self._pending: List[Dict] = []
+        self._thread: Optional[threading.Thread] = None
+        self._spilled_rows = 0
+
+    # ------------------------------------------------------------------
+    # window labels (which instrumented region(s) the row was taken in)
+
+    def push_label(self, label: str) -> None:
+        with self._lock:
+            self._labels.append(label)
+
+    def pop_label(self, label: str) -> None:
+        with self._lock:
+            if label in self._labels:
+                self._labels.remove(label)
+
+    # ------------------------------------------------------------------
+    def sample_once(self, t: Optional[float] = None) -> Dict:
+        """Take one telemetry row (the thread loop calls this per tick)."""
+        snap = self.source() or {}
+        with self._lock:
+            window = ";".join(self._labels)
+        row: Dict = {
+            "t": float(t) if t is not None else self.clock.now(),
+            "pid": self.pid,
+            "window": window,
+            "counters": dict(snap.get("counters", {})),
+            "gauges": dict(snap.get("gauges", {})),
+            "quantiles": {
+                name: bucket_quantiles(hist, self.quantiles)
+                for name, hist in snap.get("histograms", {}).items()
+            },
+        }
+        if self.resources is not None:
+            row.update(self.resources.sample())
+        dropped = self.ring.append(row)
+        with self._lock:
+            self._pending.append(row)
+        from repro import obs  # function-scope: repro.obs imports this module
+
+        obs.counter("obs.sample.ticks")
+        if dropped:
+            obs.counter("obs.sample.drops")
+        return row
+
+    # ------------------------------------------------------------------
+    def spill_path(self) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{SERIES_FILE_PREFIX}{self.pid}.jsonl"
+
+    def flush(self) -> Optional[Path]:
+        """Append pending rows to the spill file; rewrite the flame file."""
+        with self._lock:
+            pending, self._pending = self._pending, []
+        path = self.spill_path()
+        if path is not None and pending:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with path.open("a", encoding="utf-8") as fh:
+                    for row in pending:
+                        fh.write(json.dumps(row, default=str) + "\n")
+                self._spilled_rows += len(pending)
+            except OSError:
+                from repro import obs
+
+                obs.log_warning("obs.sample.spill_error", path=str(path))
+        if self.stacks is not None and self.directory is not None:
+            self.stacks.write_dir(self.directory)
+        return path
+
+    @property
+    def spilled_rows(self) -> int:
+        return self._spilled_rows
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        if self.stacks is not None:
+            self.stacks.skip_thread(threading.get_ident())
+        while not self.clock.wait(self.interval_s):
+            self.sample_once()
+            if self.stacks is not None:
+                self.stacks.sample_once()
+            self.flush()
+
+    def start(self) -> None:
+        """Start the daemon sampling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-obs-sampler-{self.pid}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Stop the thread, take a final row, and flush everything."""
+        self.clock.wake()
+        thread, self._thread = self._thread, None
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+        # final row so even sub-interval windows leave one sample behind
+        self.sample_once()
+        if self.stacks is not None:
+            self.stacks.sample_once()
+        self.flush()
+
+
+# ---------------------------------------------------------------------------
+# cross-process merge
+
+
+def read_series(directory: Path) -> List[Dict]:
+    """Every telemetry row spilled under ``directory``, time-sorted.
+
+    Mirrors the tracer's spill protocol: one ``series-<pid>.jsonl`` per
+    process, corrupt lines (a worker killed mid-write) skipped, rows
+    sorted by ``(t, pid)`` so merged output is deterministic.
+    """
+    directory = Path(directory)
+    rows: List[Dict] = []
+    if not directory.exists():
+        return rows
+    for path in sorted(directory.glob(f"{SERIES_FILE_PREFIX}*.jsonl")):
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(row, dict) and "t" in row:
+                rows.append(row)
+    rows.sort(key=lambda r: (r.get("t", 0.0), r.get("pid", 0)))
+    return rows

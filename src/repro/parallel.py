@@ -33,9 +33,11 @@ R = TypeVar("R")
 class _SpanMapper:
     """Picklable wrapper running each work item inside a ``parallel.item`` span.
 
-    Used only when tracing is enabled.  The span (pid/tid tagged) plus
-    the explicit :func:`repro.obs.flush` per item are what let worker
-    timelines survive pool teardown and merge into the parent trace.
+    Used whenever observability is on.  The span (pid/tid tagged, a
+    no-op outside trace mode) plus the explicit :func:`repro.obs.flush`
+    per item are what let worker timelines *and* worker metrics —
+    counters, and gauges merged under a ``.pid<N>`` suffix — survive
+    pool teardown and merge into the parent's view.
     """
 
     __slots__ = ("fn",)
@@ -79,7 +81,7 @@ def parallel_map(
     if processes is None:
         processes = default_processes(len(work))
     processes = min(processes, len(work))
-    if obs.trace_enabled():
+    if obs.enabled():
         run_fn: Callable = _SpanMapper(fn)
         work = list(enumerate(work))
     else:

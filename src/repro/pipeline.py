@@ -335,7 +335,9 @@ class Stage:
         raise NotImplementedError
 
     def execute(self, ctx: PipelineContext) -> StageStatus:
-        with obs.span(f"pipeline.{self.name}", experiment=ctx.hash):
+        with obs.sample_window(f"stage.{self.name}"), obs.span(
+            f"pipeline.{self.name}", experiment=ctx.hash
+        ):
             start = time.perf_counter()
             if not ctx.force and self.is_complete(ctx):
                 self.load(ctx)
@@ -600,7 +602,11 @@ def run_experiment(
     config.save(run_dir / "experiment.json")
     statuses: List[StageStatus] = []
     with runtime.use(**config.runtime), obs.run_context(experiment_hash):
-        with obs.span("pipeline.run", experiment=experiment_hash, label=config.name):
+        # the outer sample_window keeps one telemetry thread alive across
+        # all stages; per-stage windows only push/pop their row label
+        with obs.sample_window("pipeline"), obs.span(
+            "pipeline.run", experiment=experiment_hash, label=config.name
+        ):
             ctx = PipelineContext(config, run_dir, force=force)
             for stage in stages if stages is not None else DEFAULT_STAGES:
                 statuses.append(stage.execute(ctx))

@@ -176,7 +176,7 @@ def run_campaign(
 
     from ..data.cache import resolve_cache  # local: avoids import cycle
 
-    with obs.span(
+    with obs.sample_window("campaign"), obs.span(
         "campaign.run",
         operators=list(config.operators),
         scenarios=list(config.scenarios),

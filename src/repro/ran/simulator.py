@@ -561,7 +561,7 @@ class TraceSimulator:
         state = self.mobility.reset(self._rng)
         self.reset()
         records: List[TraceRecord] = []
-        with obs.span(
+        with obs.sample_window("simulate"), obs.span(
             "simulate.run",
             operator=self.operator.name,
             scenario=self.scenario,

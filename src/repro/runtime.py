@@ -30,6 +30,10 @@ bit-identical reference backend — and can be preset with the
 like the boolean flags (``runtime.configure(backend="numba")``).
 Unknown names degrade gracefully: the backend registry resolves them
 back to numpy and publishes an obs counter rather than failing a run.
+A second value flag, ``obs_sample_hz``, sets the continuous-telemetry
+sample rate (``"0"`` = off, the default; ``REPRO_OBS_SAMPLE_HZ`` env
+preset) consumed by :mod:`repro.obs.timeseries` — it lives here so the
+rate is stamped into manifests alongside the dispatch flags.
 
 The same module owns the repo's one canonical content-hash helper,
 :func:`canonical_hash` (sorted-key compact JSON → SHA-256), used by the
@@ -60,8 +64,12 @@ from typing import Callable, Dict, List, Mapping, Optional
 #: every *boolean* dispatch flag, in stable (sorted) order.
 FLAG_NAMES = ("arena", "batched_cc", "fused_kernels", "vectorized_radio")
 
-#: string-valued flags (currently just the compute-backend selector).
-VALUE_FLAG_NAMES = ("backend",)
+#: string-valued flags: the compute-backend selector and the continuous
+#: telemetry sample rate (``"0"`` = sampling off; see
+#: :mod:`repro.obs.timeseries`).  Both are stored as canonical strings
+#: so the flag machinery (mirrors, manifests, hashing) stays uniform;
+#: :func:`obs_sample_hz` exposes the parsed float.
+VALUE_FLAG_NAMES = ("backend", "obs_sample_hz")
 
 #: every flag — boolean and value — in stable (sorted) order.
 ALL_FLAG_NAMES = tuple(sorted(FLAG_NAMES + VALUE_FLAG_NAMES))
@@ -76,22 +84,48 @@ SYNTHESIS_FLAG_NAMES = ("backend", "vectorized_radio")
 #: the reference backend: plain numpy, bit-identical to the oracles.
 DEFAULT_BACKEND = "numpy"
 
+#: telemetry sampling is off by default: no sampler thread is started
+#: and :func:`repro.obs.sample_window` hands back a shared null object.
+DEFAULT_OBS_SAMPLE_HZ = "0"
+
+#: defaults for the string-valued flags (booleans default to ``True``).
+_VALUE_FLAG_DEFAULTS: Dict[str, str] = {
+    "backend": DEFAULT_BACKEND,
+    "obs_sample_hz": DEFAULT_OBS_SAMPLE_HZ,
+}
+
 
 def _env_backend() -> str:
     return os.environ.get("REPRO_BACKEND", "").strip().lower() or DEFAULT_BACKEND
+
+
+def _env_obs_sample_hz() -> str:
+    return os.environ.get("REPRO_OBS_SAMPLE_HZ", "").strip() or DEFAULT_OBS_SAMPLE_HZ
+
+
+def _canonical_hz(raw: object) -> str:
+    """Validate and canonicalize a sample-rate flag value (``"2.5"``)."""
+    try:
+        hz = float(str(raw).strip())
+    except ValueError:
+        raise ValueError(f"obs_sample_hz must parse as a float, got {raw!r}") from None
+    if not (0.0 <= hz < float("inf")):
+        raise ValueError(f"obs_sample_hz must be a finite rate >= 0, got {raw!r}")
+    return format(hz, "g")
 
 
 def default_flags() -> Dict[str, object]:
     """The production flag snapshot: every fast path on, numpy backend."""
     values: Dict[str, object] = {}
     for name in ALL_FLAG_NAMES:
-        values[name] = DEFAULT_BACKEND if name in VALUE_FLAG_NAMES else True
+        values[name] = _VALUE_FLAG_DEFAULTS[name] if name in VALUE_FLAG_NAMES else True
     return values
 
 
 def _initial_flags() -> Dict[str, object]:
     values = default_flags()
     values["backend"] = _env_backend()
+    values["obs_sample_hz"] = _canonical_hz(_env_obs_sample_hz())
     return values
 
 
@@ -105,6 +139,8 @@ def _check_name(name: str) -> None:
 
 
 def _coerce(name: str, value: object) -> object:
+    if name == "obs_sample_hz":
+        return _canonical_hz(value)
     if name in VALUE_FLAG_NAMES:
         text = str(value).strip().lower()
         if not text:
@@ -127,6 +163,18 @@ def flags() -> Dict[str, object]:
 def backend_name() -> str:
     """The *requested* backend name (resolution lives in :mod:`repro.backends`)."""
     return str(_FLAGS["backend"])
+
+
+def obs_sample_hz() -> float:
+    """The telemetry sample rate in Hz (``0.0`` = sampling disabled).
+
+    The canonical value lives in the ``obs_sample_hz`` value flag
+    (preset by ``REPRO_OBS_SAMPLE_HZ``, overridable like any flag via
+    :func:`configure` / ``repro5g --obs-sample-hz``); this accessor
+    parses it.  Hot callers should read the write-through mirror in
+    :mod:`repro.obs` instead of calling this per sample.
+    """
+    return float(str(_FLAGS["obs_sample_hz"]))
 
 
 def synthesis_fingerprint() -> Dict[str, object]:

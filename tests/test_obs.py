@@ -73,6 +73,55 @@ class TestRegistry:
         assert snap["histograms"]["ms"]["min"] == 1.0
         assert snap["histograms"]["ms"]["max"] == 5.0
 
+    def test_bucket_mismatch_counted_not_silent(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("ms", 1.0, buckets=(2.0, 4.0))
+        b.histogram("ms", 1.0, buckets=(3.0,))
+        b.histogram("ok", 1.0, buckets=(2.0,))
+        a.histogram("ok", 5.0, buckets=(2.0,))
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        # the incompatible snapshot was refused without touching local data...
+        assert snap["histograms"]["ms"]["count"] == 1
+        assert snap["histograms"]["ms"]["buckets"] == [2.0, 4.0]
+        # ...and the refusal is published instead of silently swallowed
+        assert snap["counters"]["obs.merge.bucket_mismatch"] == 1.0
+        # compatible histograms in the same snapshot still merged
+        assert snap["histograms"]["ok"]["count"] == 2
+
+    def test_histogram_merge_snapshot_returns_false_on_mismatch(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)
+        other = Histogram(buckets=(9.0,))
+        other.observe(3.0)
+        assert h.merge_snapshot(other.snapshot()) is False
+        assert h.count == 1 and h.max == 0.5
+        twin = Histogram(buckets=(1.0, 2.0))
+        twin.observe(1.5)
+        assert h.merge_snapshot(twin.snapshot()) is True
+        assert h.count == 2 and h.max == 1.5
+
+    def test_worker_gauges_merge_under_pid_suffix(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("train.loss", 0.1)
+        worker.gauge("train.loss", 0.9)
+        worker.gauge("obs.rss.peak_mb", 512.0)
+        parent.merge_snapshot(worker.snapshot(), gauge_pid=4242)
+        gauges = parent.snapshot()["gauges"]
+        # local name stays last-write-wins; the worker's value arrives
+        # under a .pid suffix instead of colliding or being dropped
+        assert gauges["train.loss"] == 0.1
+        assert gauges["train.loss.pid4242"] == 0.9
+        assert gauges["obs.rss.peak_mb.pid4242"] == 512.0
+
+    def test_gauges_without_pid_stay_local_only(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.gauge("g", 1.0)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.snapshot()["gauges"] == {}
+
 
 # ---------------------------------------------------------------------------
 # module facade / disabled path
@@ -206,6 +255,27 @@ class TestMultiprocessingMerge:
         (map_span,) = [s for s in spans if s["name"] == "parallel.map"]
         assert map_span["attrs"]["pool"] == "serial"
 
+    def test_worker_gauges_survive_via_pid_suffix(self, tmp_path):
+        obs.configure(mode=obs.MODE_METRICS, directory=tmp_path)
+        obs.gauge("train.loss", 0.25)
+        # simulate a dead worker's spill (pid encoded in the filename)
+        worker = MetricsRegistry()
+        worker.gauge("obs.rss.peak_mb", 777.0)
+        worker.counter("items.done", 2)
+        (tmp_path / "metrics-99999.json").write_text(worker.to_json(), encoding="utf-8")
+        merged = obs.merged_snapshot()
+        assert merged["counters"]["items.done"] == 2.0
+        assert merged["gauges"]["train.loss"] == 0.25  # local, untouched
+        assert merged["gauges"]["obs.rss.peak_mb.pid99999"] == 777.0
+
+    def test_metrics_mode_flush_spills_metrics(self, tmp_path):
+        obs.configure(mode=obs.MODE_METRICS, directory=tmp_path)
+        obs.counter("n", 3)
+        obs.flush()
+        spill = tmp_path / f"metrics-{os.getpid()}.json"
+        assert spill.exists()
+        assert json.loads(spill.read_text())["counters"]["n"] == 3.0
+
 
 # ---------------------------------------------------------------------------
 # manifests
@@ -231,7 +301,7 @@ class TestManifest:
         assert manifest["history"]["train_loss"] == [1.0, 0.5]
         assert set(manifest["kernel_paths"]) == {
             "arena", "backend", "backend_resolved",
-            "fused_kernels", "batched_cc", "vectorized_radio",
+            "fused_kernels", "batched_cc", "obs_sample_hz", "vectorized_radio",
         }
         assert manifest["kernel_paths"]["backend"] == "numpy"
         assert manifest["kernel_paths"]["backend_resolved"] == "numpy"

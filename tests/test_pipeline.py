@@ -105,6 +105,7 @@ class TestExperimentConfig:
             "backend": runtime.backend_name(),
             "batched_cc": True,
             "fused_kernels": False,
+            "obs_sample_hz": "0",
             "vectorized_radio": True,
         }
 
