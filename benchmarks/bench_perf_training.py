@@ -32,6 +32,13 @@ so their losses match step for step and the held-out predictions agree
 to tolerance — the speedup isolates dispatch amortization + buffer
 reuse, not a different training trajectory.
 
+A ``campaign_city`` section times the sharded city-campaign engine
+(``repro.ran.run_city_campaign``) on a small shared-deployment
+workload, once as a single serial shard and once over 4 shards with 4
+worker processes, recording UEs/sec, peak RSS and ``host_cpus`` — the
+shard speedup is a core-count story, so the >2x target only applies on
+hosts with 4+ cores.
+
 Every phase is timed best-of-3 (training is seeded, so repeats do
 identical work): single-shot wall clocks on shared hosts are dominated
 by scheduler noise — the same code has measured 2-3x apart run to run.
@@ -312,6 +319,66 @@ def _arena_multitrace_timings(params) -> Dict[str, object]:
     }
 
 
+def _campaign_city_timings(params) -> Dict[str, object]:
+    """UEs/sec for the sharded city-campaign engine, 1 vs 4 shards.
+
+    Runs the same small shared-deployment campaign (one operator/scenario
+    group, SoA cohort stepping, streaming accumulators) twice: once as a
+    single serial shard and once split over 4 shards with 4 worker
+    processes requested.  Each row records wall seconds, UEs/sec and the
+    peak RSS seen by the parent + reaped children.  ``host_cpus`` is
+    recorded alongside because the shard speedup is a core-count story:
+    on a single-core runner the 4-shard row measures pure sharding
+    overhead (expect ~1x or slightly below), while the >2x target only
+    applies where ``host_cpus >= 4``.
+    """
+    from repro.ran import CityCampaignConfig, run_city_campaign
+
+    full = params["scale"] == "full"
+    ues = 1024 if full else 256
+
+    def run_once(shards: int, processes: int) -> Dict[str, object]:
+        config = CityCampaignConfig(
+            operators=("OpZ",),
+            scenarios=("urban",),
+            rats=("5G",),
+            ues=ues,
+            cells=12,
+            shards=shards,
+            cohort=64,
+            duration_s=4.0,
+            dt_s=1.0,
+            seed=9,
+        )
+        state = tempfile.mkdtemp(prefix="repro-bench-campaign-")
+        try:
+            result = run_city_campaign(config, state_dir=state, processes=processes)
+        finally:
+            shutil.rmtree(state, ignore_errors=True)
+        return {
+            "shards": shards,
+            "processes": processes,
+            "wall_s": round(result.wall_s, 4),
+            "ues_per_sec": round(result.ues_per_sec, 1),
+            "peak_rss_mb": round(result.peak_rss_mb, 1),
+        }
+
+    serial = run_once(shards=1, processes=1)
+    sharded = run_once(shards=4, processes=4)
+    speedup = (
+        sharded["ues_per_sec"] / serial["ues_per_sec"]
+        if serial["ues_per_sec"] > 0
+        else float("inf")
+    )
+    return {
+        "ues": ues,
+        "host_cpus": os.cpu_count() or 1,
+        "serial": serial,
+        "sharded": sharded,
+        "speedup": round(speedup, 2),
+    }
+
+
 def _tune_allocator() -> None:
     """Raise glibc's mmap threshold so multi-MB activation buffers are
     recycled from the heap instead of being mmap'd and page-faulted anew
@@ -432,6 +499,7 @@ def run_workload(emit=print) -> Dict:
     stages = _stage_timings(dataset, params)
     backend_stages = _backend_stage_timings(params, fit_lstm)
     arena_multitrace = _arena_multitrace_timings(params)
+    campaign_city = _campaign_city_timings(params)
 
     from repro import runtime
 
@@ -445,6 +513,7 @@ def run_workload(emit=print) -> Dict:
             for name, row in backend_stages.items()
         },
         "arena_multitrace": arena_multitrace,
+        "campaign_city": campaign_city,
         "speedup": round(legacy["end_to_end"] / current["end_to_end"], 2),
         "predictions_match": predictions_match,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -474,6 +543,13 @@ def run_workload(emit=print) -> Dict:
         f"stacked+arena {amt['stacked_arena_s']:.4f}s ({amt['speedup']:.2f}x), "
         f"predictions match: {amt['predictions_match']}"
     )
+    cc = record["campaign_city"]
+    emit(
+        f"city campaign ({cc['ues']} UEs, {cc['host_cpus']} cpus): "
+        f"1 shard {cc['serial']['ues_per_sec']:.0f} UEs/s vs "
+        f"4 shards {cc['sharded']['ues_per_sec']:.0f} UEs/s ({cc['speedup']:.2f}x), "
+        f"peak RSS {max(cc['serial']['peak_rss_mb'], cc['sharded']['peak_rss_mb']):.0f} MB"
+    )
     obs.write_manifest(
         kind="bench",
         config=params,
@@ -486,6 +562,7 @@ def run_workload(emit=print) -> Dict:
             "stages_s": record["stages_s"],
             "backends_s": record["backends_s"],
             "arena_multitrace": record["arena_multitrace"],
+            "campaign_city": record["campaign_city"],
         },
     )
     obs.flush()

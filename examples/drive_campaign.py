@@ -7,23 +7,36 @@ and highway scenarios, then report the Table 1/2-style statistics —
 channels observed, CA combinations (ordered / unique), CA prevalence,
 and peak throughput — plus a Fig 4-style spatial CC map.
 
-Run:  python examples/drive_campaign.py
+Run:  python examples/drive_campaign.py [--quick]
+
+``--quick`` shrinks the campaign to a CI-smoke size (one run per cell,
+10 s traces) — same code path, ~seconds instead of minutes.
 """
+
+import argparse
 
 from repro.analysis import format_table
 from repro.ran import CampaignConfig, cc_spatial_map, run_campaign
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI-smoke configuration"
+    )
+    args = parser.parse_args()
     config = CampaignConfig(
         operators=("OpX", "OpY", "OpZ"),
         scenarios=("urban", "suburban", "highway"),
         rats=("4G", "5G"),
-        traces_per_cell=2,
-        duration_s=60.0,
+        traces_per_cell=1 if args.quick else 2,
+        duration_s=10.0 if args.quick else 60.0,
         seed=3,
     )
-    print("running campaign: 3 operators x 3 scenarios x 2 RATs x 2 runs ...")
+    print(
+        f"running campaign: 3 operators x 3 scenarios x 2 RATs x "
+        f"{config.traces_per_cell} runs ..."
+    )
     result = run_campaign(config)
     print(f"collected {len(result.traces)} traces, {result.traces.total_duration_s() / 60:.0f} min total\n")
 

@@ -9,8 +9,13 @@ Walks the three layers of the library in ~a minute of compute:
 3. ``repro.core`` — train the CA-aware Prism5G predictor and compare
    it against the statistics-only Prophet baseline.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--quick]
+
+``--quick`` shrinks every stage to a CI-smoke size (short trace, few
+windows, few epochs) — same code path, ~seconds instead of a minute.
 """
+
+import argparse
 
 import numpy as np
 
@@ -21,6 +26,11 @@ from repro.ran import TraceSimulator
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny CI-smoke configuration"
+    )
+    args = parser.parse_args()
     # ------------------------------------------------------------------
     # 1. Simulate a 2-minute urban drive on OpZ (T-Mobile-like: up to
     #    4 aggregated FR1 carriers from n41/n25/n71).
@@ -33,11 +43,12 @@ def main() -> None:
         dt_s=1.0,
         seed=7,
     )
-    trace = sim.run(duration_s=120.0)
+    duration_s = 30.0 if args.quick else 120.0
+    trace = sim.run(duration_s=duration_s)
     tput = trace.throughput_series()
     ccs = trace.cc_count_series()
 
-    print("=== Simulated OpZ urban drive (120 s) ===")
+    print(f"=== Simulated OpZ urban drive ({duration_s:.0f} s) ===")
     print(f"throughput: mean {tput.mean():7.1f} Mbps | peak {tput.max():7.1f} Mbps | std {tput.std():6.1f}")
     print(f"active CCs: min {ccs.min()} / max {ccs.max()}")
     stats = transition_statistics(trace)
@@ -52,7 +63,12 @@ def main() -> None:
     #    0.5 / 0.2 / 0.3 like Appendix C.1.
     # ------------------------------------------------------------------
     spec = SubDatasetSpec("OpZ", "driving", "long")  # 1 s scale, 10 s horizon
-    dataset = build_subdataset(spec, n_traces=4, samples_per_trace=150, seed=1)
+    dataset = build_subdataset(
+        spec,
+        n_traces=2 if args.quick else 4,
+        samples_per_trace=60 if args.quick else 150,
+        seed=1,
+    )
     train, val, test = random_split(dataset.windows, 0.5, 0.2, 0.3, seed=0)
     print(f"\n=== Dataset: {spec.name} ===")
     print(f"{len(dataset.windows)} windows of (history=10, horizon=10), {train.n_ccs} CC slots")
@@ -60,7 +76,10 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 3. Train Prism5G and a baseline; report RMSE (normalized units).
     # ------------------------------------------------------------------
-    config = DeepConfig(hidden=24, max_epochs=40, patience=12)
+    if args.quick:
+        config = DeepConfig(hidden=16, max_epochs=4, patience=4)
+    else:
+        config = DeepConfig(hidden=24, max_epochs=40, patience=12)
     prism = Prism5GPredictor(config)
     prism.fit(train, val)
     prophet = ProphetPredictor().fit(train)

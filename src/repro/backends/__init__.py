@@ -69,6 +69,7 @@ PRIMITIVES = (
     "lstm_decoder_forward",
     "lstm_decoder_backward",
     "radio_step",
+    "radio_step_multi",
 )
 
 

@@ -766,3 +766,70 @@ def radio_step(
     rssi_mw = (signal_mw + cand_noise_mw + interf_mw) * 12.0 * cand_nrb
     rsrq = cand_nrb_db + rsrp - 10.0 * np.log10(rssi_mw)
     return rsrp, sinr, rsrq
+
+
+def radio_step_multi(
+    positions: np.ndarray,
+    indoor: np.ndarray,
+    force_los: Optional[bool],
+    shadows: np.ndarray,
+    fadings: np.ndarray,
+    cand_pos: np.ndarray,
+    cand_freq: np.ndarray,
+    cand_per_re_tx: np.ndarray,
+    cand_noise_mw: np.ndarray,
+    cand_nrb: np.ndarray,
+    cand_nrb_db: np.ndarray,
+    cand_indoor_pen: np.ndarray,
+    interf_mask: np.ndarray,
+    los_blend_m: float,
+    co_channel_activity: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`radio_step` batched over a cohort of UEs (lane axis first).
+
+    Inputs are carrier-major structure-of-arrays tensors padded to the
+    cohort's widest candidate set: ``positions`` is ``(U, 2)``,
+    ``indoor`` is ``(U,)`` bool, the per-candidate arrays are
+    ``(U, C)`` (``cand_pos`` is ``(U, C, 2)``), and ``interf_mask`` is
+    ``(U, C, C)``.  ``force_los`` is shared across the cohort (the
+    multi-UE driver falls back to per-lane dispatch when lanes
+    disagree).  Padding lanes must be numerically inert — the caller
+    pads with unit distances / zero interference rows and slices each
+    lane's first ``C_i`` outputs; this kernel never sees a mask.
+    Returns ``(rsrp, sinr, rsrq)``, each ``(U, C)``.
+    """
+    global _pathloss_array
+    if _pathloss_array is None:  # lazy: keeps repro.backends import-cycle-free
+        from ..ran.propagation import urban_macro_pathloss_db_array
+
+        _pathloss_array = urban_macro_pathloss_db_array
+    delta = cand_pos - positions[:, None, :]
+    distance = np.hypot(delta[..., 0], delta[..., 1])
+    pl_los = _pathloss_array(distance, cand_freq, los=True)
+    pl_nlos = _pathloss_array(distance, cand_freq, los=False)
+    indoor_col = np.asarray(indoor, dtype=bool)[:, None]
+    blend = np.exp(-distance / los_blend_m)
+    if force_los is True:
+        serving_weight = np.ones_like(distance)
+    elif force_los is False:
+        serving_weight = np.zeros_like(distance)
+    else:
+        serving_weight = blend
+    los_weight = np.where(indoor_col, 0.0, serving_weight)
+    pl = los_weight * pl_los + (1.0 - los_weight) * pl_nlos
+    # interfering links keep the distance-based LOS probability
+    # (force_los applies to serving links only)
+    interf_weight = np.where(indoor_col, 0.0, blend)
+    pl_interf = interf_weight * pl_los + (1.0 - interf_weight) * pl_nlos
+    pen = np.where(indoor_col, cand_indoor_pen, 0.0)
+    pl = pl + pen
+    pl_interf = pl_interf + pen
+
+    rsrp = cand_per_re_tx - pl - shadows + fadings
+    received_mw = co_channel_activity * 10.0 ** ((cand_per_re_tx - pl_interf) / 10.0)
+    interf_mw = (interf_mask @ received_mw[..., None])[..., 0]
+    signal_mw = 10.0 ** (rsrp / 10.0)
+    sinr = 10.0 * np.log10(signal_mw / (cand_noise_mw + interf_mw))
+    rssi_mw = (signal_mw + cand_noise_mw + interf_mw) * 12.0 * cand_nrb
+    rsrq = cand_nrb_db + rsrp - 10.0 * np.log10(rssi_mw)
+    return rsrp, sinr, rsrq

@@ -140,6 +140,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     _configure_obs(args)
+    if args.ues is not None:
+        return _cmd_city_campaign(args)
     config = CampaignConfig(
         operators=tuple(args.operators),
         scenarios=tuple(args.scenarios),
@@ -175,6 +177,56 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             trace.to_jsonl(out_dir / f"trace_{trace.operator}_{trace.rat}_{trace.scenario}_{i:03d}.jsonl")
         print(f"wrote {len(result.traces)} traces to {out_dir}")
     obs.flush()
+    return 0
+
+
+def _cmd_city_campaign(args: argparse.Namespace) -> int:
+    from .ran import CityCampaignConfig, run_city_campaign
+
+    config = CityCampaignConfig(
+        operators=tuple(args.operators),
+        scenarios=tuple(args.scenarios),
+        rats=tuple(args.rats),
+        ues=args.ues,
+        cells=args.cells,
+        shards=args.shards,
+        cohort=args.cohort,
+        duration_s=args.duration,
+        dt_s=args.dt,
+        seed=args.seed,
+        spill_traces=args.spill,
+        shard_timeout_s=args.shard_timeout,
+    )
+    result = run_city_campaign(config, state_dir=args.state_dir, max_shards=args.max_shards)
+    rows = []
+    for (operator, rat, scenario), stats in sorted(result.stats.items()):
+        rows.append(
+            [
+                operator, rat, scenario,
+                stats.unique_channels,
+                f"{stats.ordered_combos}/{stats.unique_combos}",
+                stats.max_ccs,
+                f"{stats.ca_prevalence * 100:.0f}%",
+                f"{stats.peak_tput_mbps:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Oper.", "RAT", "Scenario", "#Ch", "Combos", "MaxCC", "CA%", "Peak Mbps"],
+            rows,
+            title=f"City campaign {result.hash}",
+        )
+    )
+    print(
+        f"shards {result.shards_completed}/{result.shards_total} "
+        f"({result.shards_resumed} resumed), {result.n_ues} UEs, "
+        f"{result.ues_per_sec:.1f} UEs/s, peak RSS {result.peak_rss_mb:.0f} MB"
+    )
+    print(f"state: {result.state_dir}")
+    obs.flush()
+    if not result.complete:
+        print(f"{result.shards_total - result.shards_completed} shard(s) still pending; rerun to resume")
+        return 3
     return 0
 
 
@@ -438,6 +490,21 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--dt", type=float, default=1.0)
     camp.add_argument("--seed", type=int, default=0)
     camp.add_argument("--out-dir", default=None, help="write traces as JSONL here")
+    city = camp.add_argument_group("city-scale (sharded engine; enabled by --ues)")
+    city.add_argument("--ues", type=int, default=None,
+                      help="UEs per (operator, rat, scenario) group; selects the sharded engine")
+    city.add_argument("--cells", type=int, default=0,
+                      help="share one ~N-cell deployment per group (0 = per-UE deployments)")
+    city.add_argument("--shards", type=int, default=1, help="worker shards for the UE population")
+    city.add_argument("--cohort", type=int, default=32, help="UEs batched per SoA radio step")
+    city.add_argument("--state-dir", default=None,
+                      help="resumable shard state directory (default: runs/campaigns/city-<hash>)")
+    city.add_argument("--max-shards", type=int, default=None,
+                      help="run at most N pending shards then stop (exit 3 if shards remain)")
+    city.add_argument("--spill", action="store_true",
+                      help="spill per-cohort traces into the content-hash cache")
+    city.add_argument("--shard-timeout", type=float, default=None,
+                      help="per-shard wall budget in seconds (expired shards retry once)")
     _add_obs_args(camp)
     _add_backend_arg(camp)
     camp.set_defaults(func=_cmd_campaign)

@@ -53,6 +53,27 @@ class _SpanMapper:
         return result
 
 
+class _TaskRunner:
+    """Picklable wrapper running one labelled task inside a span.
+
+    The shard-task sibling of :class:`_SpanMapper`: same span + flush
+    contract, but carries the caller-visible task label (e.g.
+    ``shard-0003``) so per-shard telemetry is attributable.
+    """
+
+    __slots__ = ("fn", "label")
+
+    def __init__(self, fn: Callable, label: str) -> None:
+        self.fn = fn
+        self.label = label
+
+    def __call__(self, item):
+        with obs.span("parallel.task", label=self.label):
+            result = self.fn(item)
+        obs.flush()
+        return result
+
+
 def default_processes(n_items: int) -> int:
     """Worker count: ``REPRO_PROCS`` if set, else ``min(cpus, items)``."""
     env = os.environ.get("REPRO_PROCS")
@@ -101,3 +122,118 @@ def parallel_map(
             # no semaphores / fork blocked (sandbox): serial fallback
             sp.set(pool="serial-fallback")
             return [run_fn(item) for item in work]
+
+
+def _fail(label: str, attempts: int, exc: BaseException) -> "RuntimeError":
+    # log_warning also bumps the ``parallel.shard.failed`` counter
+    obs.log_warning(
+        "parallel.shard.failed",
+        shard=label,
+        attempts=attempts,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+    return RuntimeError(
+        f"shard {label} failed after {attempts} attempt(s): {type(exc).__name__}: {exc}"
+    )
+
+
+def _note_retry(label: str, attempt: int, exc: BaseException) -> None:
+    # log_warning also bumps the ``parallel.shard.retry`` counter
+    obs.log_warning(
+        "parallel.shard.retry",
+        shard=label,
+        attempt=attempt,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+def _run_with_retries(run_fn: Callable, item, label: str, retries: int):
+    attempts = 0
+    while True:
+        try:
+            return run_fn(item)
+        except Exception as exc:
+            attempts += 1
+            if attempts > retries:
+                raise _fail(label, attempts, exc) from exc
+            _note_retry(label, attempts, exc)
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    labels: Optional[Sequence[str]] = None,
+    processes: Optional[int] = None,
+    retries: int = 1,
+    timeout_s: Optional[float] = None,
+) -> List[R]:
+    """Run labelled tasks with per-task retry and timeout.
+
+    The shard-grade sibling of :func:`parallel_map`: results are
+    order-preserving and ``fn``/items must be picklable, but each task
+    additionally gets
+
+    * up to ``retries`` re-submissions after a failure, each publishing
+      a ``parallel.shard.retry`` obs counter and a structured warning;
+    * a per-task wall budget (``timeout_s``) enforced on the pool path —
+      an expired task counts as a failure and is retried.  (The serial
+      path cannot preempt a running task, so there the budget applies
+      only as a failure classifier.)
+
+    A task that exhausts its retries raises :class:`RuntimeError` naming
+    the task label, so campaign logs read "shard-0007 failed", not a
+    bare traceback.  Retried tasks may double-execute (a timed-out
+    original keeps running while its replacement starts), so task
+    side effects must be idempotent — the campaign shard writers are
+    (atomic rename, content-identical output).
+    """
+    work: Sequence[T] = list(items)
+    names: List[str] = list(labels) if labels is not None else [f"task-{i}" for i in range(len(work))]
+    if len(names) != len(work):
+        raise ValueError(f"got {len(names)} labels for {len(work)} tasks")
+    if not work:
+        return []
+    if processes is None:
+        processes = default_processes(len(work))
+    processes = min(processes, len(work))
+    if obs.enabled():
+        run_fns: List[Callable] = [_TaskRunner(fn, name) for name in names]
+    else:
+        run_fns = [fn] * len(work)
+    with obs.span(
+        "parallel.tasks", items=len(work), processes=processes, retries=retries
+    ) as sp:
+        if processes <= 1 or len(work) <= 1:
+            sp.set(pool="serial")
+            return [
+                _run_with_retries(run_fns[i], work[i], names[i], retries)
+                for i in range(len(work))
+            ]
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            with ctx.Pool(processes=processes, initializer=obs.child_after_fork) as pool:
+                pending = [
+                    pool.apply_async(run_fns[i], (work[i],)) for i in range(len(work))
+                ]
+                results: List[R] = []
+                for i, handle in enumerate(pending):
+                    attempts = 0
+                    while True:
+                        try:
+                            results.append(handle.get(timeout_s))
+                            break
+                        except Exception as exc:
+                            attempts += 1
+                            if attempts > retries:
+                                raise _fail(names[i], attempts, exc) from exc
+                            _note_retry(names[i], attempts, exc)
+                            handle = pool.apply_async(run_fns[i], (work[i],))
+                return results
+        except (OSError, PermissionError):
+            # no semaphores / fork blocked (sandbox): serial fallback
+            sp.set(pool="serial-fallback")
+            return [
+                _run_with_retries(run_fns[i], work[i], names[i], retries)
+                for i in range(len(work))
+            ]

@@ -93,6 +93,55 @@ def _slug(name: str) -> str:
     return re.sub(r"[^A-Za-z0-9]+", "_", name).strip("_").lower() or "x"
 
 
+# ---------------------------------------------------------------------------
+# stage markers — the resume protocol
+#
+# A *marker* is a small JSON file recording that one named stage of a
+# run completed for one exact content hash.  The experiment pipeline
+# stages and the city-campaign shards share these helpers, so both
+# resume the same way: a marker from a different hash (or a corrupt
+# file) simply does not count as completion.
+
+
+def stage_marker_path(root: Union[str, Path], stage: str) -> Path:
+    """Where the completion marker for ``stage`` lives under ``root``."""
+    return Path(root) / "stages" / f"{stage}.json"
+
+
+def read_stage_marker(root: Union[str, Path], stage: str, run_hash: str) -> Optional[Dict]:
+    """Load a stage marker, or ``None`` when absent/corrupt/hash-mismatched."""
+    try:
+        data = json.loads(stage_marker_path(root, stage).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    # a marker from a different config (or pipeline version) does not
+    # count as completion — the hash is the contract
+    if not isinstance(data, dict) or data.get("experiment_hash") != run_hash:
+        return None
+    return data
+
+
+def write_stage_marker(
+    root: Union[str, Path],
+    stage: str,
+    run_hash: str,
+    artifact: Optional[Path],
+    detail: Optional[Dict] = None,
+) -> Path:
+    """Record completion of ``stage`` for ``run_hash`` (write-last contract)."""
+    path = stage_marker_path(root, stage)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "stage": stage,
+        "experiment_hash": run_hash,
+        "artifact": None if artifact is None else str(artifact),
+        "completed_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "detail": detail or {},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
 @dataclass
 class ExperimentConfig:
     """Everything needed to reproduce one end-to-end run.
@@ -281,30 +330,13 @@ class PipelineContext:
         return self._splits
 
     def marker_path(self, stage: str) -> Path:
-        return self.run_dir / "stages" / f"{stage}.json"
+        return stage_marker_path(self.run_dir, stage)
 
     def read_marker(self, stage: str) -> Optional[Dict]:
-        try:
-            data = json.loads(self.marker_path(stage).read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        # a marker from a different config (or pipeline version) does
-        # not count as completion — the hash is the contract
-        if not isinstance(data, dict) or data.get("experiment_hash") != self.hash:
-            return None
-        return data
+        return read_stage_marker(self.run_dir, stage, self.hash)
 
     def write_marker(self, stage: str, artifact: Optional[Path], detail: Optional[Dict] = None) -> None:
-        path = self.marker_path(stage)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "stage": stage,
-            "experiment_hash": self.hash,
-            "artifact": None if artifact is None else str(artifact),
-            "completed_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "detail": detail or {},
-        }
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        write_stage_marker(self.run_dir, stage, self.hash, artifact, detail)
 
 
 class Stage:

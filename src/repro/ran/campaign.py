@@ -5,20 +5,151 @@ scenario x mobility, generate traces and summarize what a measurement
 analyst would report — unique channels, CA combinations (ordered and
 as unique sets, the "270/162"-style counts of Table 2), CA prevalence
 (Fig 25), CC-count spatial maps (Fig 4), and peak/average throughput.
+
+Two engines share the statistics layer:
+
+* :func:`run_campaign` — the paper-scale engine: one UE per trace,
+  every trace materialized, per-(operator, rat, scenario) statistics.
+* :func:`run_city_campaign` — the city-scale engine: tens of thousands
+  of UEs against shared deployments, partitioned into shards by a
+  :class:`ShardPlan` (deterministic UE→shard assignment derived from
+  the campaign's canonical hash).  Shards run in worker processes with
+  shared-nothing radio state (:func:`repro.parallel.run_tasks` adds
+  per-shard retry/timeout), stream their records into
+  :class:`CAStatisticsAccumulator` objects (no shard ever materializes
+  a per-record list), persist a per-shard result file plus a
+  pipeline-style stage marker, and optionally spill their traces into
+  the content-hash cache.  A killed run resumes from its last finished
+  shard: completed shards are loaded from their result files and only
+  pending shards are re-dispatched.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import os
 from collections import Counter
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .. import obs
-from ..parallel import parallel_map
+from .. import obs, runtime
+from ..parallel import parallel_map, run_tasks
+from .cells import Deployment, build_city_deployment
+from .multi_ue import MultiUESimulator
 from .simulator import TraceSimulator
-from .traces import Trace, TraceSet
+from .traces import Trace, TraceRecord, TraceSet
+
+#: folded into every city-campaign hash so semantic changes to the
+#: sharded engine invalidate old shard state directories.
+CITY_CAMPAIGN_SCHEMA = "repro-city-campaign-v1"
+
+#: schema stamp of per-shard result files.
+SHARD_RESULT_SCHEMA = "repro-city-shard-v1"
+
+
+# ---------------------------------------------------------------------------
+# streaming statistics
+
+
+@dataclass
+class CAStatisticsAccumulator:
+    """Streaming Table-2 statistics: O(1) memory in the sample count.
+
+    ``update_record`` folds one :class:`~repro.ran.traces.TraceRecord`
+    into running counters (channel set, ordered-combo counter, unique
+    combo sets, CA/total sample counts, throughput sum/peak), so a
+    shard can stream an arbitrarily long campaign without ever holding
+    a per-record list.  Accumulators merge associatively
+    (:meth:`merge`) and round-trip through JSON (:meth:`to_dict` /
+    :meth:`from_dict`) for the per-shard result files.
+    """
+
+    channels: set = field(default_factory=set)
+    ordered: Counter = field(default_factory=Counter)
+    unique_sets: set = field(default_factory=set)
+    max_ccs: int = 0
+    ca_samples: int = 0
+    total_samples: int = 0
+    peak_tput_mbps: float = 0.0
+    tput_sum_mbps: float = 0.0
+
+    def update_record(self, rec: TraceRecord) -> None:
+        self.total_samples += 1
+        self.tput_sum_mbps += rec.total_tput_mbps
+        if rec.total_tput_mbps > self.peak_tput_mbps:
+            self.peak_tput_mbps = rec.total_tput_mbps
+        active = [cc for cc in rec.ccs if cc.active]
+        if not active:
+            return
+        for cc in active:
+            self.channels.add(cc.channel_key)
+        if len(active) > self.max_ccs:
+            self.max_ccs = len(active)
+        if len(active) >= 2:
+            self.ca_samples += 1
+            self.ordered[rec.combo_channels] += 1
+            self.unique_sets.add(frozenset(cc.channel_key for cc in active))
+
+    def update_trace(self, trace: Trace) -> None:
+        for rec in trace.records:
+            self.update_record(rec)
+
+    def merge(self, other: "CAStatisticsAccumulator") -> "CAStatisticsAccumulator":
+        """Fold ``other`` into this accumulator (in place; returns self)."""
+        self.channels |= other.channels
+        self.ordered.update(other.ordered)
+        self.unique_sets |= other.unique_sets
+        self.max_ccs = max(self.max_ccs, other.max_ccs)
+        self.ca_samples += other.ca_samples
+        self.total_samples += other.total_samples
+        self.peak_tput_mbps = max(self.peak_tput_mbps, other.peak_tput_mbps)
+        self.tput_sum_mbps += other.tput_sum_mbps
+        return self
+
+    def finalize(self, operator: str = "", rat: str = "5G") -> "CAStatistics":
+        return CAStatistics(
+            operator=operator,
+            rat=rat,
+            unique_channels=len(self.channels),
+            ordered_combos=len(self.ordered),
+            unique_combos=len(self.unique_sets),
+            max_ccs=self.max_ccs,
+            ca_prevalence=self.ca_samples / self.total_samples if self.total_samples else 0.0,
+            peak_tput_mbps=self.peak_tput_mbps,
+            mean_tput_mbps=self.tput_sum_mbps / self.total_samples if self.total_samples else 0.0,
+            combo_counter=Counter(self.ordered),
+            accumulator=self,
+        )
+
+    # -- JSON round-trip (shard result files) ---------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "channels": sorted(self.channels),
+            "ordered": dict(self.ordered),
+            "unique_sets": sorted(sorted(s) for s in self.unique_sets),
+            "max_ccs": self.max_ccs,
+            "ca_samples": self.ca_samples,
+            "total_samples": self.total_samples,
+            "peak_tput_mbps": self.peak_tput_mbps,
+            "tput_sum_mbps": self.tput_sum_mbps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CAStatisticsAccumulator":
+        return cls(
+            channels=set(data["channels"]),
+            ordered=Counter(data["ordered"]),
+            unique_sets={frozenset(s) for s in data["unique_sets"]},
+            max_ccs=int(data["max_ccs"]),
+            ca_samples=int(data["ca_samples"]),
+            total_samples=int(data["total_samples"]),
+            peak_tput_mbps=float(data["peak_tput_mbps"]),
+            tput_sum_mbps=float(data["tput_sum_mbps"]),
+        )
 
 
 @dataclass
@@ -35,48 +166,46 @@ class CAStatistics:
     peak_tput_mbps: float
     mean_tput_mbps: float
     combo_counter: Counter = field(default_factory=Counter)
+    #: the underlying streaming state, kept so statistics stay mergeable
+    #: (unique-count fields cannot be combined from the summary alone).
+    accumulator: Optional[CAStatisticsAccumulator] = field(default=None, repr=False)
 
     def top_combos(self, k: int = 5) -> List[Tuple[str, int]]:
         return self.combo_counter.most_common(k)
 
+    def merge(self, other: "CAStatistics") -> "CAStatistics":
+        """Combine two per-shard statistics into campaign-level ones.
 
-def analyze_traces(traces: Sequence[Trace], operator: str = "", rat: str = "5G") -> CAStatistics:
-    """Compute Table-2-style statistics from traces."""
-    channels = set()
-    ordered: Counter = Counter()
-    unique_sets = set()
-    max_ccs = 0
-    ca_samples = 0
-    total_samples = 0
-    peak = 0.0
-    tputs: List[float] = []
+        Requires both sides to carry their accumulators (every
+        statistics object produced by this module does); unique-channel
+        and unique-combo counts are recomputed from the merged sets, so
+        ``a.merge(b)`` equals statistics computed over the concatenated
+        traces.
+        """
+        if self.accumulator is None or other.accumulator is None:
+            raise ValueError("CAStatistics.merge needs accumulator-backed statistics")
+        merged = CAStatisticsAccumulator()
+        merged.merge(self.accumulator)
+        merged.merge(other.accumulator)
+        return merged.finalize(self.operator, self.rat)
+
+
+def analyze_traces(traces: Iterable[Trace], operator: str = "", rat: str = "5G") -> CAStatistics:
+    """Compute Table-2-style statistics from traces.
+
+    Streams every record through a :class:`CAStatisticsAccumulator`
+    (count/sum/peak instead of materialized per-record lists), so
+    memory is O(1) in the number of samples — the same code path shard
+    workers use for city-scale aggregation.
+    """
+    acc = CAStatisticsAccumulator()
     for trace in traces:
-        for rec in trace.records:
-            total_samples += 1
-            tputs.append(rec.total_tput_mbps)
-            peak = max(peak, rec.total_tput_mbps)
-            active = [cc for cc in rec.ccs if cc.active]
-            if not active:
-                continue
-            for cc in active:
-                channels.add(cc.channel_key)
-            max_ccs = max(max_ccs, len(active))
-            if len(active) >= 2:
-                ca_samples += 1
-                ordered[rec.combo_channels] += 1
-                unique_sets.add(frozenset(cc.channel_key for cc in active))
-    return CAStatistics(
-        operator=operator,
-        rat=rat,
-        unique_channels=len(channels),
-        ordered_combos=len(ordered),
-        unique_combos=len(unique_sets),
-        max_ccs=max_ccs,
-        ca_prevalence=ca_samples / total_samples if total_samples else 0.0,
-        peak_tput_mbps=peak,
-        mean_tput_mbps=float(np.mean(tputs)) if tputs else 0.0,
-        combo_counter=ordered,
-    )
+        acc.update_trace(trace)
+    return acc.finalize(operator, rat)
+
+
+# ---------------------------------------------------------------------------
+# paper-scale campaign (one UE per trace, materialized)
 
 
 @dataclass
@@ -102,16 +231,24 @@ class CampaignResult:
 
     def prevalence_table(self) -> Dict[str, Dict[str, float]]:
         """operator -> scenario -> 5G CA prevalence (paper Fig 25)."""
-        table: Dict[str, Dict[str, float]] = {}
-        for (operator, rat, scenario), stat in self.stats.items():
-            if rat != "5G":
-                continue
-            table.setdefault(operator, {})[scenario] = stat.ca_prevalence
-        return table
+        return _prevalence_table(self.stats)
+
+
+def _prevalence_table(stats: Dict[Tuple[str, str, str], CAStatistics]) -> Dict[str, Dict[str, float]]:
+    table: Dict[str, Dict[str, float]] = {}
+    for (operator, rat, scenario), stat in stats.items():
+        if rat != "5G":
+            continue
+        table.setdefault(operator, {})[scenario] = stat.ca_prevalence
+    return table
 
 
 def _mobility_for(scenario: str) -> str:
     return {"urban": "driving", "suburban": "driving", "highway": "driving", "indoor": "indoor"}[scenario]
+
+
+def _area_for(scenario: str) -> float:
+    return 1_500.0 if scenario != "urban" else 1_000.0
 
 
 def _simulate_campaign_trace(job: Dict) -> Trace:
@@ -129,22 +266,8 @@ def campaign_cache_config(config: CampaignConfig) -> Dict:
     return {"kind": "campaign", **asdict(config)}
 
 
-def run_campaign(
-    config: Optional[CampaignConfig] = None,
-    cache: object = "auto",
-    processes: Optional[int] = None,
-) -> CampaignResult:
-    """Run the full campaign and compute per-cell statistics.
-
-    Traces are synthesized in parallel (``processes`` workers; the
-    ``REPRO_PROCS`` env var overrides) and cached on disk keyed by a
-    hash of ``config`` (``cache="auto"``; pass ``None`` to disable or a
-    :class:`~repro.data.cache.TraceCache` / directory to redirect).
-    Results are identical to the serial, uncached path: seeds are
-    assigned in the original nested-loop order and pool mapping
-    preserves item order.
-    """
-    config = config or CampaignConfig()
+def _campaign_jobs(config: CampaignConfig) -> Tuple[List[Dict], List[Tuple[str, str, str]]]:
+    """The legacy nested-loop job list: seeds assigned in iteration order."""
     jobs: List[Dict] = []
     keys: List[Tuple[str, str, str]] = []
     seed = config.seed
@@ -163,13 +286,33 @@ def run_campaign(
                                 rat=rat,
                                 dt_s=config.dt_s,
                                 seed=seed,
-                                area_m=1_500.0 if scenario != "urban" else 1_000.0,
+                                area_m=_area_for(scenario),
                             ),
                             "duration_s": config.duration_s,
                             "route_id": run,
                         }
                     )
                     keys.append((operator, rat, scenario))
+    return jobs, keys
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    cache: object = "auto",
+    processes: Optional[int] = None,
+) -> CampaignResult:
+    """Run the full campaign and compute per-cell statistics.
+
+    Traces are synthesized in parallel (``processes`` workers; the
+    ``REPRO_PROCS`` env var overrides) and cached on disk keyed by a
+    hash of ``config`` (``cache="auto"``; pass ``None`` to disable or a
+    :class:`~repro.data.cache.TraceCache` / directory to redirect).
+    Results are identical to the serial, uncached path: seeds are
+    assigned in the original nested-loop order and pool mapping
+    preserves item order.
+    """
+    config = config or CampaignConfig()
+    jobs, keys = _campaign_jobs(config)
 
     def synthesize() -> TraceSet:
         return TraceSet(parallel_map(_simulate_campaign_trace, jobs, processes=processes))
@@ -190,13 +333,10 @@ def run_campaign(
             traces = trace_cache.get_or_create(campaign_cache_config(config), synthesize)
 
         all_traces = list(traces)
-        grouped: Dict[Tuple[str, str, str], List[Trace]] = {}
+        accs: Dict[Tuple[str, str, str], CAStatisticsAccumulator] = {}
         for key, trace in zip(keys, all_traces):
-            grouped.setdefault(key, []).append(trace)
-        stats = {
-            key: analyze_traces(cell_traces, key[0], key[1])
-            for key, cell_traces in grouped.items()
-        }
+            accs.setdefault(key, CAStatisticsAccumulator()).update_trace(trace)
+        stats = {key: acc.finalize(key[0], key[1]) for key, acc in accs.items()}
     obs.write_manifest(
         kind="campaign",
         config=asdict(config),
@@ -209,6 +349,518 @@ def run_campaign(
         },
     )
     return CampaignResult(traces=TraceSet(all_traces), stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# city-scale campaign: shard plan
+
+
+@dataclass(frozen=True)
+class UEJob:
+    """One UE's simulation assignment inside a city campaign."""
+
+    index: int  #: global UE index in canonical (operator, rat, scenario, ue) order
+    operator: str
+    rat: str
+    scenario: str
+    seed: int  #: simulator seed, assigned in the legacy nested-loop order
+    route_id: int  #: per-group UE ordinal (mobility route / trace id)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.operator, self.rat, self.scenario)
+
+
+@dataclass
+class CityCampaignConfig:
+    """Scope of a sharded, city-scale measurement campaign.
+
+    ``ues`` UEs per (operator, rat, scenario) group are partitioned
+    into ``shards`` worker units.  With ``cells == 0`` every UE gets
+    its own deployment — the legacy per-trace semantics, bit-identical
+    to :func:`run_campaign` (the oracle mode).  With ``cells > 0`` each
+    group shares one city deployment sized to roughly that many cells,
+    and UEs are stepped in structure-of-arrays cohorts of ``cohort``
+    through :class:`~repro.ran.multi_ue.MultiUESimulator`.
+    """
+
+    operators: Tuple[str, ...] = ("OpX", "OpY", "OpZ")
+    scenarios: Tuple[str, ...] = ("urban", "suburban", "highway")
+    rats: Tuple[str, ...] = ("5G",)
+    ues: int = 100  #: UEs per (operator, rat, scenario) group
+    cells: int = 0  #: >0: shared deployment with ~this many cells per group
+    shards: int = 1
+    cohort: int = 32  #: UEs batched per SoA step (shared-deployment mode)
+    duration_s: float = 60.0
+    dt_s: float = 1.0
+    modem: str = "X70"
+    seed: int = 0
+    spill_traces: bool = False  #: spill per-cohort traces into the content-hash cache
+    shard_timeout_s: Optional[float] = None  #: per-shard wall budget (None = unbounded)
+
+    def __post_init__(self) -> None:
+        self.operators = tuple(self.operators)
+        self.scenarios = tuple(self.scenarios)
+        self.rats = tuple(self.rats)
+        if self.ues < 1:
+            raise ValueError("ues must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.cohort < 1:
+            raise ValueError("cohort must be >= 1")
+
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        for key in ("operators", "scenarios", "rats"):
+            data[key] = list(data[key])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CityCampaignConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown city campaign key(s) {unknown}; valid keys: {sorted(known)}")
+        return cls(**dict(data))
+
+    def hash(self) -> str:
+        """Canonical content hash naming the campaign's shard state."""
+        return runtime.canonical_hash(self.to_dict(), schema=CITY_CAMPAIGN_SCHEMA)
+
+
+def city_campaign_jobs(config: CityCampaignConfig) -> List[UEJob]:
+    """Every UE job in canonical order (seed assignment matches
+    :func:`run_campaign`'s nested loops, which is what makes the
+    ``shards=1, ues=1`` oracle bit-identical to the legacy path)."""
+    jobs: List[UEJob] = []
+    seed = config.seed
+    index = 0
+    for operator in config.operators:
+        for rat in config.rats:
+            for scenario in config.scenarios:
+                for ue in range(config.ues):
+                    seed += 1
+                    jobs.append(
+                        UEJob(
+                            index=index,
+                            operator=operator,
+                            rat=rat,
+                            scenario=scenario,
+                            seed=seed,
+                            route_id=ue,
+                        )
+                    )
+                    index += 1
+    return jobs
+
+
+@dataclass
+class ShardPlan:
+    """Deterministic UE→shard assignment for one campaign.
+
+    The assignment is a pure function of the campaign's canonical hash
+    and each UE's global index: shard ids are derived per UE from
+    ``canonical_hash({campaign, ue})``, so re-planning the same config
+    always reproduces the same partition (what makes shard result
+    files resumable), while different campaigns shuffle differently.
+    """
+
+    campaign_hash: str
+    n_shards: int
+    shards: List[List[UEJob]]
+
+    @staticmethod
+    def shard_of(campaign_hash: str, ue_index: int, n_shards: int) -> int:
+        digest = runtime.canonical_hash(
+            {"campaign": campaign_hash, "ue": ue_index}, schema="repro-shard-assign-v1"
+        )
+        return int(digest, 16) % n_shards
+
+    @classmethod
+    def build(cls, config: CityCampaignConfig) -> "ShardPlan":
+        campaign_hash = config.hash()
+        shards: List[List[UEJob]] = [[] for _ in range(config.shards)]
+        for job in city_campaign_jobs(config):
+            shards[cls.shard_of(campaign_hash, job.index, config.shards)].append(job)
+        return cls(campaign_hash=campaign_hash, n_shards=config.shards, shards=shards)
+
+    @property
+    def n_ues(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def shard_id(self, index: int) -> str:
+        return f"shard-{index:04d}"
+
+
+# ---------------------------------------------------------------------------
+# city-scale campaign: shard execution
+
+
+def _shard_result_path(state_dir: Path, shard_id: str) -> Path:
+    return state_dir / f"{shard_id}.json"
+
+
+def city_shard_cache_config(campaign_hash: str, shard_id: str, cohort_index: int) -> Dict:
+    """Content-hash cache key for one cohort's spilled traces."""
+    return {
+        "kind": "city-shard",
+        "campaign_hash": campaign_hash,
+        "shard": shard_id,
+        "cohort": cohort_index,
+    }
+
+
+def _build_group_deployment(config: CityCampaignConfig, operator: str, scenario: str) -> Deployment:
+    """The shared city deployment for one (operator, scenario) group.
+
+    Deterministic in the campaign seed, so shared-nothing shard workers
+    rebuild byte-identical layouts without any cross-process state.
+    """
+    from .operators import get_operator
+
+    profile = get_operator(operator)
+    return build_city_deployment(
+        profile.channel_plans(),
+        scenario=scenario if scenario != "indoor" else "urban",
+        target_cells=config.cells,
+        seed=config.seed + 7919 * (1 + sorted(config.operators).index(operator)),
+        deploy_fraction=profile.fraction_for(scenario),
+    )
+
+
+def _run_city_shard(payload: Dict) -> Dict:
+    """Top-level shard worker (picklable for :func:`repro.parallel.run_tasks`).
+
+    Streams every simulated record into per-group accumulators — no
+    per-record list is ever materialized — optionally spilling each
+    cohort's traces into the content-hash cache, then atomically writes
+    the shard's result file.  The returned dict is exactly what was
+    persisted, so the parent can merge without re-reading the file.
+    """
+    config = CityCampaignConfig.from_dict(payload["config"])
+    jobs = [UEJob(**job) for job in payload["jobs"]]
+    shard_id: str = payload["shard_id"]
+    state_dir = Path(payload["state_dir"])
+    campaign_hash: str = payload["campaign_hash"]
+
+    accs: Dict[Tuple[str, str, str], CAStatisticsAccumulator] = {}
+    spill_keys: List[str] = []
+    cohort_index = 0
+
+    cache = None
+    if config.spill_traces:
+        from ..data.cache import TraceCache  # local: avoids import cycle
+
+        cache = TraceCache(payload["cache_dir"]) if payload.get("cache_dir") else TraceCache()
+
+    def spill(traces: List[Trace]) -> None:
+        nonlocal cohort_index
+        if cache is None or not traces:
+            return
+        entry_config = city_shard_cache_config(campaign_hash, shard_id, cohort_index)
+        cache.put(entry_config, TraceSet(traces))
+        spill_keys.append(cache.path_for(entry_config).name)
+        cohort_index += 1
+
+    with obs.sample_window("campaign.shard"), obs.span(
+        "campaign.shard", shard=shard_id, ues=len(jobs), campaign=campaign_hash
+    ):
+        if config.cells <= 0:
+            # legacy semantics: one deployment per UE, same kwargs and
+            # seed assignment as run_campaign's nested loop — this is
+            # the bit-identical oracle mode
+            pending: List[Trace] = []
+            for job in jobs:
+                sim = TraceSimulator(
+                    operator=job.operator,
+                    scenario=job.scenario,
+                    mobility=_mobility_for(job.scenario),
+                    modem=config.modem,
+                    rat=job.rat,
+                    dt_s=config.dt_s,
+                    seed=job.seed,
+                    area_m=_area_for(job.scenario),
+                )
+                trace = sim.run(config.duration_s, route_id=job.route_id)
+                accs.setdefault(job.key, CAStatisticsAccumulator()).update_trace(trace)
+                if cache is not None:
+                    pending.append(trace)
+                    if len(pending) >= config.cohort:
+                        spill(pending)
+                        pending = []
+            spill(pending)
+        else:
+            # city semantics: one shared deployment per group, UEs
+            # stepped in SoA cohorts through MultiUESimulator
+            groups: Dict[Tuple[str, str, str], List[UEJob]] = {}
+            for job in jobs:
+                groups.setdefault(job.key, []).append(job)
+            for key, group_jobs in groups.items():
+                operator, rat, scenario = key
+                deployment = _build_group_deployment(config, operator, scenario)
+                acc = accs.setdefault(key, CAStatisticsAccumulator())
+                for start in range(0, len(group_jobs), config.cohort):
+                    cohort_jobs = group_jobs[start : start + config.cohort]
+                    lanes = [
+                        TraceSimulator(
+                            operator=job.operator,
+                            scenario=job.scenario,
+                            mobility=_mobility_for(job.scenario),
+                            modem=config.modem,
+                            rat=job.rat,
+                            dt_s=config.dt_s,
+                            seed=job.seed,
+                            deployment=deployment,
+                        )
+                        for job in cohort_jobs
+                    ]
+                    msim = MultiUESimulator(lanes)
+                    if cache is not None:
+                        traces = msim.run(
+                            config.duration_s,
+                            route_ids=[job.route_id for job in cohort_jobs],
+                        )
+                        for trace in traces:
+                            acc.update_trace(trace)
+                        spill(list(traces))
+                    else:
+                        msim.run(
+                            config.duration_s,
+                            route_ids=[job.route_id for job in cohort_jobs],
+                            keep_traces=False,
+                            on_record=lambda lane, rec, acc=acc: acc.update_record(rec),
+                        )
+        obs.flush()
+
+    result = {
+        "schema": SHARD_RESULT_SCHEMA,
+        "campaign_hash": campaign_hash,
+        "shard": shard_id,
+        "n_ues": len(jobs),
+        "ue_indices": [job.index for job in jobs],
+        "stats": {"|".join(key): acc.to_dict() for key, acc in accs.items()},
+        "spill_keys": spill_keys,
+    }
+    path = _shard_result_path(state_dir, shard_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    tmp.replace(path)
+    return result
+
+
+def _load_shard_result(state_dir: Path, shard_id: str, campaign_hash: str) -> Optional[Dict]:
+    try:
+        data = json.loads(_shard_result_path(state_dir, shard_id).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or data.get("schema") != SHARD_RESULT_SCHEMA:
+        return None
+    if data.get("campaign_hash") != campaign_hash:
+        return None
+    return data
+
+
+@dataclass
+class CityCampaignResult:
+    """Merged statistics plus shard bookkeeping for one city campaign."""
+
+    config: CityCampaignConfig
+    hash: str
+    state_dir: Path
+    stats: Dict[Tuple[str, str, str], CAStatistics]
+    shards_total: int
+    shards_completed: int
+    shards_resumed: int
+    n_ues: int
+    complete: bool
+    spill_keys: List[str] = field(default_factory=list)
+    peak_rss_mb: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def ues_per_sec(self) -> float:
+        return self.n_ues / self.wall_s if self.wall_s > 0 else 0.0
+
+    def prevalence_table(self) -> Dict[str, Dict[str, float]]:
+        """operator -> scenario -> 5G CA prevalence (paper Fig 25)."""
+        return _prevalence_table(self.stats)
+
+    def load_spilled_traces(self, cache: object = "auto") -> TraceSet:
+        """Load every spilled trace cohort back from the content-hash cache."""
+        from ..data.cache import resolve_cache
+
+        trace_cache = resolve_cache(cache)
+        if trace_cache is None:
+            return TraceSet([])
+        traces: List[Trace] = []
+        for name in self.spill_keys:
+            entry = trace_cache.directory / name
+            if (entry / "manifest.json").exists():
+                from ..data.artifacts import load_trace_set
+
+                traces.extend(load_trace_set(entry))
+        return TraceSet(traces)
+
+
+def _peak_rss_mb() -> float:
+    """Max resident set of this process and its reaped children (MB)."""
+    try:
+        import resource
+
+        self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        return max(self_kb, child_kb) / 1024.0
+    except (ImportError, ValueError):  # pragma: no cover - non-POSIX hosts
+        return 0.0
+
+
+def default_campaign_state_dir(config: CityCampaignConfig) -> Path:
+    """``<runs dir>/campaigns/city-<hash>`` — the resumable shard state."""
+    from ..pipeline import default_runs_dir  # local: avoids import cycle
+
+    return default_runs_dir() / "campaigns" / f"city-{config.hash()}"
+
+
+def run_city_campaign(
+    config: Optional[CityCampaignConfig] = None,
+    state_dir: Union[str, Path, None] = None,
+    processes: Optional[int] = None,
+    max_shards: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+) -> CityCampaignResult:
+    """Run (or resume) a sharded city-scale campaign.
+
+    Shards whose stage marker and result file are already present for
+    this exact campaign hash are loaded instead of re-simulated; the
+    rest are dispatched to worker processes through
+    :func:`repro.parallel.run_tasks` (one retry per shard, optional
+    per-shard timeout, order-preserving).  ``max_shards`` bounds how
+    many *pending* shards this invocation runs — the deterministic
+    stand-in for a killed run in tests and CI — leaving the remainder
+    for the next call.  Statistics are merged in shard order from the
+    streamed accumulators; no per-record list exists anywhere.
+    """
+    from ..pipeline import read_stage_marker, write_stage_marker  # local: avoids import cycle
+
+    import time
+
+    config = config or CityCampaignConfig()
+    start = time.perf_counter()
+    plan = ShardPlan.build(config)
+    campaign_hash = plan.campaign_hash
+    root = Path(state_dir) if state_dir is not None else default_campaign_state_dir(config)
+    root.mkdir(parents=True, exist_ok=True)
+
+    completed: Dict[str, Dict] = {}
+    pending: List[int] = []
+    resumed = 0
+    for i in range(plan.n_shards):
+        shard_id = plan.shard_id(i)
+        result = None
+        if read_stage_marker(root, shard_id, campaign_hash) is not None:
+            result = _load_shard_result(root, shard_id, campaign_hash)
+        if result is not None:
+            completed[shard_id] = result
+            resumed += 1
+        else:
+            pending.append(i)
+
+    to_run = pending if max_shards is None else pending[: max(0, max_shards)]
+    with obs.sample_window("campaign"), obs.span(
+        "campaign.city.run",
+        campaign=campaign_hash,
+        ues=plan.n_ues,
+        shards=plan.n_shards,
+        pending=len(to_run),
+        resumed=resumed,
+    ) as sp:
+        if obs.metrics_enabled():
+            obs.counter("campaign.shard.resumed", resumed)
+        payloads = [
+            {
+                "config": config.to_dict(),
+                "campaign_hash": campaign_hash,
+                "shard_id": plan.shard_id(i),
+                "jobs": [asdict(job) for job in plan.shards[i]],
+                "state_dir": str(root),
+                "cache_dir": None if cache_dir is None else str(cache_dir),
+            }
+            for i in to_run
+        ]
+        results = run_tasks(
+            _run_city_shard,
+            payloads,
+            labels=[plan.shard_id(i) for i in to_run],
+            processes=processes,
+            retries=1,
+            timeout_s=config.shard_timeout_s,
+        )
+        for i, result in zip(to_run, results):
+            shard_id = plan.shard_id(i)
+            completed[shard_id] = result
+            write_stage_marker(
+                root,
+                shard_id,
+                campaign_hash,
+                _shard_result_path(root, shard_id),
+                detail={"n_ues": result["n_ues"], "spill_keys": result["spill_keys"]},
+            )
+            if obs.metrics_enabled():
+                obs.counter("campaign.shard.completed")
+
+        merged: Dict[Tuple[str, str, str], CAStatisticsAccumulator] = {}
+        spill_keys: List[str] = []
+        ues_done = 0
+        for i in range(plan.n_shards):
+            shard_id = plan.shard_id(i)
+            result = completed.get(shard_id)
+            if result is None:
+                continue
+            ues_done += int(result["n_ues"])
+            spill_keys.extend(result.get("spill_keys") or [])
+            for key_str, acc_data in result["stats"].items():
+                key = tuple(key_str.split("|"))
+                merged.setdefault(key, CAStatisticsAccumulator()).merge(
+                    CAStatisticsAccumulator.from_dict(acc_data)
+                )
+        stats = {key: acc.finalize(key[0], key[1]) for key, acc in merged.items()}
+        complete = len(completed) == plan.n_shards
+        sp.set(completed=len(completed), complete=complete)
+
+    wall = time.perf_counter() - start
+    obs.write_manifest(
+        kind="city_campaign",
+        config=config.to_dict(),
+        seed=config.seed,
+        extra={
+            "campaign_hash": campaign_hash,
+            "shards_total": plan.n_shards,
+            "shards_completed": len(completed),
+            "shards_resumed": resumed,
+            "n_ues": ues_done,
+            "complete": complete,
+            "peak_rss_mb": _peak_rss_mb(),
+            "ca_prevalence": {"/".join(key): s.ca_prevalence for key, s in stats.items()},
+        },
+    )
+    return CityCampaignResult(
+        config=config,
+        hash=campaign_hash,
+        state_dir=root,
+        stats=stats,
+        shards_total=plan.n_shards,
+        shards_completed=len(completed),
+        shards_resumed=resumed,
+        n_ues=ues_done,
+        complete=complete,
+        spill_keys=spill_keys,
+        peak_rss_mb=_peak_rss_mb(),
+        wall_s=wall,
+    )
+
+
+# ---------------------------------------------------------------------------
 
 
 def cc_spatial_map(trace: Trace, grid_m: float = 50.0) -> Dict[Tuple[int, int], float]:

@@ -102,18 +102,27 @@ class ChannelPlan:
     per_site: int = 1  #: co-channel instances per site (e.g. two n41 carriers)
 
 
+#: scenario -> inter-site distance (metres); the one place layout
+#: density is defined, shared by area- and cell-count-sized builders.
+_SCENARIO_SPACING_M = {
+    "urban": 350.0,
+    "suburban": 900.0,
+    "highway": 1_500.0,
+    "indoor": 400.0,
+}
+
+
+def scenario_spacing_m(scenario: str) -> float:
+    """Inter-site distance for a scenario."""
+    try:
+        return _SCENARIO_SPACING_M[scenario]
+    except KeyError:
+        raise ValueError(f"unknown scenario {scenario!r}") from None
+
+
 def _site_positions(scenario: str, area_m: float, rng: np.random.Generator) -> List[Tuple[float, float]]:
     """Site layout per scenario: dense urban grid, sparse suburban, linear highway."""
-    if scenario == "urban":
-        spacing = 350.0
-    elif scenario == "suburban":
-        spacing = 900.0
-    elif scenario == "highway":
-        spacing = 1_500.0
-    elif scenario == "indoor":
-        spacing = 400.0
-    else:
-        raise ValueError(f"unknown scenario {scenario!r}")
+    spacing = scenario_spacing_m(scenario)
     if scenario == "highway":
         n = max(2, int(area_m / spacing))
         return [
@@ -180,3 +189,43 @@ def build_deployment(
         if cells:
             stations.append(BaseStation(site_id=site_id, position=position, cells=cells))
     return Deployment(stations)
+
+
+def build_city_deployment(
+    channel_plans: Sequence[ChannelPlan],
+    scenario: str = "urban",
+    target_cells: int = 100,
+    seed: int = 0,
+    deploy_fraction: Optional[Dict[str, float]] = None,
+) -> Deployment:
+    """Place a deployment sized to roughly ``target_cells`` cells.
+
+    The city-scale campaign engine's sizing knob: instead of an area in
+    metres, callers ask for a cell count and the area is derived from
+    the scenario's inter-site distance and the expected cells per site
+    (channel plans weighted by their deploy fraction).  Placement
+    jitter and fractional band deployment make the realized count
+    approximate — read ``len(deployment.cells)`` for the actual figure.
+    """
+    if target_cells < 1:
+        raise ValueError("target_cells must be >= 1")
+    spacing = scenario_spacing_m(scenario)
+    per_site = 0.0
+    for plan in channel_plans:
+        fraction = 1.0 if deploy_fraction is None else deploy_fraction.get(plan.band_name, 1.0)
+        per_site += plan.per_site * fraction
+    per_site = max(per_site, 1.0)
+    sites = max(2, math.ceil(target_cells / per_site))
+    if scenario == "highway":
+        area_m = sites * spacing
+    else:
+        # the grid builder places (n+1)^2 sites for n = area/spacing
+        n = max(1, math.ceil(math.sqrt(sites)) - 1)
+        area_m = n * spacing
+    return build_deployment(
+        channel_plans,
+        scenario=scenario,
+        area_m=area_m,
+        seed=seed,
+        deploy_fraction=deploy_fraction,
+    )

@@ -454,6 +454,25 @@ class TraceSimulator:
                 obs.counter(name, value)
             counts.clear()
 
+    def _begin_step(self, state) -> Tuple[int, float]:
+        """Phase 1 of a step: advance time, refresh candidates, compute rho.
+
+        Split out of :meth:`step` so the multi-UE driver
+        (:mod:`repro.ran.multi_ue`) can run phase 1 for every lane, batch
+        the radio update across lanes, then finish each lane with
+        :meth:`_finish_step`.  ``step()`` composes the same three phases,
+        so single-UE behavior is unchanged.
+        """
+        step = getattr(self, "_step_index", 0)
+        self._step_index = step + 1
+        moved = state.speed_mps * self.dt_s
+        self._since_refresh += self.dt_s
+        if self._since_refresh >= self.candidate_refresh_s:
+            self._refresh_candidates(state.position)
+            self._since_refresh = 0.0
+        rho = math.exp(-max(moved, 1e-3) / _SHADOW_DECORR_M)
+        return step, rho
+
     def step(self, state) -> TraceRecord:
         """Advance one sampling interval at the given UE kinematic state.
 
@@ -461,22 +480,24 @@ class TraceSimulator:
         (NSA dual connectivity) can drive several simulators with one
         shared UE trajectory.
         """
-        step = getattr(self, "_step_index", 0)
-        self._step_index = step + 1
+        step, rho = self._begin_step(state)
+        if _VECTORIZED_RADIO:
+            rsrp_map, sinr_map, rsrq_map = self._radio_update_vec(state, rho)
+        else:
+            rsrp_map, sinr_map, rsrq_map = self._radio_update_loop(state, rho)
+        return self._finish_step(step, state, rsrp_map, sinr_map, rsrq_map)
+
+    def _finish_step(
+        self,
+        step: int,
+        state,
+        rsrp_map: Dict[int, float],
+        sinr_map: Dict[int, float],
+        rsrq_map: Dict[int, float],
+    ) -> TraceRecord:
+        """Phase 3 of a step: CA decision, link adaptation, the record."""
         if True:
-            moved = state.speed_mps * self.dt_s
-            self._since_refresh += self.dt_s
-            if self._since_refresh >= self.candidate_refresh_s:
-                self._refresh_candidates(state.position)
-                self._since_refresh = 0.0
-
-            rho = math.exp(-max(moved, 1e-3) / _SHADOW_DECORR_M)
             cell_by_id: Dict[int, Cell] = {c.cell_id: c for c in self._candidates}
-            if _VECTORIZED_RADIO:
-                rsrp_map, sinr_map, rsrq_map = self._radio_update_vec(state, rho)
-            else:
-                rsrp_map, sinr_map, rsrq_map = self._radio_update_loop(state, rho)
-
             ca_state = self.ca.step(self.dt_s, rsrp_map, cell_by_id)
 
             if obs.metrics_enabled():
