@@ -31,6 +31,14 @@ and the resolved name are stamped into run manifests
 Backends may implement any subset of :data:`PRIMITIVES`; missing
 entries are inherited from the numpy backend per-primitive, so a
 compiled backend only overrides the loops it actually accelerates.
+
+The resolution seam is also where the numeric sanitizer hooks in:
+when the ``sanitize`` runtime flag is armed (``REPRO_SANITIZE=1`` /
+``repro5g --sanitize``), the resolved backend is wrapped by
+:func:`repro.sanitize.wrap_backend` so every primitive call is guarded
+with NaN/Inf and backward shape/dtype checks — zero overhead while the
+flag is off, because unwrapped and wrapped backends swap atomically at
+flag changes.
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ __all__ = [
     "register_backend",
     "registered_backends",
     "requested_name",
+    "sanitize_active",
 ]
 
 #: the dispatchable primitive set every backend may implement.
@@ -113,6 +122,7 @@ _REGISTRY: Dict[str, Callable[[], Optional[object]]] = {
 _NUMPY = Backend("numpy", numpy_backend)
 _ACTIVE: Backend = _NUMPY
 _REQUESTED: str = "numpy"
+_SANITIZE: bool = False
 
 
 def register_backend(name: str, loader: Callable[[], Optional[object]]) -> None:
@@ -179,11 +189,29 @@ def _resolve(requested: str) -> Backend:
 def _set_backend_mirror(requested: object) -> None:
     global _ACTIVE, _REQUESTED
     _REQUESTED = str(requested)
-    _ACTIVE = _resolve(_REQUESTED)
+    resolved = _resolve(_REQUESTED)
+    if _SANITIZE:
+        # lazy: repro.sanitize pulls in repro.obs, and this mirror fires
+        # while this package is still initializing
+        from .. import sanitize
+
+        resolved = sanitize.wrap_backend(resolved, PRIMITIVES)
+    _ACTIVE = resolved
+
+
+def _set_sanitize_mirror(value: object) -> None:
+    global _SANITIZE
+    _SANITIZE = str(value) == "1"
+    # re-resolve so the active backend gains/sheds its sanitizer wrap;
+    # hot paths keep paying a single attribute read either way.
+    _set_backend_mirror(_REQUESTED)
 
 
 # canonical value lives in repro.runtime ("backend" flag, REPRO_BACKEND
-# env); this mirror resolves name -> Backend once per flag change.
+# env); this mirror resolves name -> Backend object once per flag
+# change.  The "sanitize" mirror is registered first so the backend
+# mirror's initial resolution already sees the REPRO_SANITIZE preset.
+runtime.register_mirror("sanitize", _set_sanitize_mirror)
 runtime.register_mirror("backend", _set_backend_mirror)
 
 
@@ -200,3 +228,13 @@ def active_name() -> str:
 def requested_name() -> str:
     """The backend name the runtime flag asked for (pre-fallback)."""
     return _REQUESTED
+
+
+def sanitize_active() -> bool:
+    """Whether the active backend is wrapped by the numeric sanitizer.
+
+    Mirrors the ``sanitize`` runtime flag (see :mod:`repro.sanitize`);
+    the resolved ``name`` stays the inner backend's, so this is the
+    authoritative way to ask whether guards are armed.
+    """
+    return _SANITIZE

@@ -83,6 +83,17 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
             "back to numpy)"
         ),
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_const",
+        const="1",
+        default=None,
+        help=(
+            "numeric sanitizer: wrap every backend primitive with "
+            "NaN/Inf and backward shape/dtype guards, fail fast naming "
+            "the offending primitive (overrides REPRO_SANITIZE)"
+        ),
+    )
 
 
 def _configure_obs(args: argparse.Namespace) -> None:
@@ -90,6 +101,8 @@ def _configure_obs(args: argparse.Namespace) -> None:
         obs.configure(mode=args.obs, directory=args.obs_dir)
     if getattr(args, "backend", None) is not None:
         runtime.configure(backend=args.backend)
+    if getattr(args, "sanitize", None) is not None:
+        runtime.configure(sanitize=args.sanitize)
     if getattr(args, "obs_sample_hz", None) is not None:
         runtime.configure(obs_sample_hz=args.obs_sample_hz)
 
@@ -544,7 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(run)
     run.set_defaults(func=_cmd_run)
 
-    lint = sub.add_parser("lint", help="run the repo's AST invariant checks (rules RL001-RL007)")
+    lint = sub.add_parser("lint", help="run the repo's AST and whole-program invariant checks (rules RL001-RL012)")
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
 

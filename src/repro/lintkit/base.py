@@ -22,7 +22,10 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (project imports base)
+    from .project import ProjectContext
 
 #: matches the whole suppression comment, e.g. ``# lint: disable=RL001,RL003``
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*(?P<directive>[A-Za-z0-9_=,\- ]+)")
@@ -123,6 +126,25 @@ class Checker:
             code=self.code,
             message=message,
         )
+
+
+class ProjectRule(Checker):
+    """A flow-sensitive rule that reasons over the whole program.
+
+    Per-file ``check`` is a no-op; the runner calls ``check_project``
+    exactly once after every file's facts have been extracted (or
+    reloaded from the incremental cache) and linked into a
+    :class:`~repro.lintkit.project.ProjectContext`.  Diagnostics carry
+    normal file positions, so line-scoped ``# lint: disable=`` comments
+    suppress them like any per-file rule — the runner filters them
+    against the owning module's recorded suppressions.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Diagnostic]:
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Checker]] = {}

@@ -1,0 +1,82 @@
+"""Content-hash incremental cache for the lint runner.
+
+Re-linting an unchanged tree re-parses nothing: each file's cache
+entry stores the *post-suppression* per-file diagnostics and the
+serialized :class:`~repro.lintkit.project.ModuleFacts`, keyed by the
+canonical hash of (source text, display path, active rule codes, facts
+schema).  The whole-program pass always re-runs — it is cheap plain-
+data linking — but it consumes reloaded facts instead of fresh ASTs,
+which is what keeps warm ``--changed-only`` pre-commit runs fast.
+
+The key uses :func:`repro.runtime.canonical_hash` (the repo's single
+hashing recipe — RL003 applies to lintkit too); any change to a file,
+to the rule subset, or to extraction semantics (``FACTS_SCHEMA``)
+misses cleanly.  The cache lives next to the trace cache
+(``~/.cache/repro5g``, ``REPRO_CACHE_DIR`` override) and is fully
+disposable; ``REPRO_NO_CACHE=1`` or ``--no-cache`` bypasses it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Sequence
+
+from .. import runtime
+
+CACHE_SCHEMA = "repro-lint-cache-v1"
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_DISABLE_ENV = "REPRO_NO_CACHE"
+
+
+def default_cache_path() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    base = Path(env) if env else Path.home() / ".cache" / "repro5g"
+    return base / "lint-cache.json"
+
+
+def caching_disabled() -> bool:
+    return bool(os.environ.get(CACHE_DISABLE_ENV))
+
+
+def entry_key(source: str, display_path: str, rule_codes: Sequence[str], facts_schema: str) -> str:
+    """Cache key for one file under one rule configuration."""
+    return runtime.canonical_hash(
+        {
+            "source": source,
+            "display": display_path,
+            "rules": sorted(rule_codes),
+            "facts": facts_schema,
+        },
+        schema=CACHE_SCHEMA,
+        length=32,
+    )
+
+
+def load_cache(path: Path) -> Dict[str, Dict[str, object]]:
+    """Entries from a cache file; anything unreadable is an empty cache."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA:
+        return {}
+    entries = data.get("entries")
+    if not isinstance(entries, dict):
+        return {}
+    return {str(key): dict(value) for key, value in entries.items() if isinstance(value, dict)}
+
+
+def save_cache(path: Path, entries: Mapping[str, Mapping[str, object]]) -> bool:
+    """Best-effort write; a read-only cache dir never fails a lint run."""
+    payload = {"schema": CACHE_SCHEMA, "entries": {k: dict(v) for k, v in entries.items()}}
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        return False
+    return True

@@ -1,4 +1,8 @@
-"""The repo-specific invariant checkers (rules RL001–RL006).
+"""The repo-specific per-file invariant checkers (rules RL001–RL007).
+
+The whole-program rules (RL008–RL012) live in
+:mod:`repro.lintkit.project_rules` and run over linked module facts
+rather than a single AST.
 
 Each checker encodes one contract the reproduction depends on; DESIGN
 §6d explains why every one of them exists.  In brief:
@@ -141,7 +145,7 @@ _MIRROR_MODULES: Dict[str, FrozenSet[str]] = {
     "repro.nn.modules": frozenset({"_FUSED_KERNELS"}),
     "repro.core.prism5g": frozenset({"_BATCHED_CC"}),
     "repro.ran.simulator": frozenset({"_VECTORIZED_RADIO"}),
-    "repro.backends": frozenset({"_ACTIVE", "_REQUESTED"}),
+    "repro.backends": frozenset({"_ACTIVE", "_REQUESTED", "_SANITIZE"}),
     "repro.backends.arena": frozenset({"_ARENA_ENABLED"}),
     "repro.obs": frozenset({"_SAMPLE_HZ"}),
 }
@@ -153,7 +157,7 @@ _MIRROR_MODULES: Dict[str, FrozenSet[str]] = {
 #: ``repro.nn.modules.fused_kernels`` is a context manager — so only
 #: their private mirror globals are forbidden there.)
 _FLAG_NAMES = frozenset(
-    {"arena", "backend", "fused_kernels", "batched_cc", "obs_sample_hz", "vectorized_radio"}
+    {"arena", "backend", "fused_kernels", "batched_cc", "obs_sample_hz", "sanitize", "vectorized_radio"}
 )
 
 

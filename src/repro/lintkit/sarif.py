@@ -1,0 +1,76 @@
+"""SARIF 2.1.0 report rendering for ``repro5g lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub's
+code-scanning ingestion expects: the CI static-analysis job uploads
+the rendered file and findings appear as inline PR annotations instead
+of a log to scroll.  Only the small stable core of the format is
+emitted — tool + rule metadata from the checker registry, one result
+per diagnostic with a physical location — which validates against the
+2.1.0 schema and round-trips through ``github/codeql-action``.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePath
+from typing import Dict, List, Sequence
+
+from .base import Diagnostic, registered_checkers
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "reprolint"
+TOOL_URI = "https://github.com/repro5g/repro"
+
+
+def _uri(path: str) -> str:
+    return PurePath(path).as_posix()
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic]) -> Dict[str, object]:
+    """The full SARIF document for one lint run (sorted, deterministic)."""
+    rules: List[Dict[str, object]] = []
+    for code, cls in registered_checkers().items():
+        rules.append(
+            {
+                "id": code,
+                "name": cls.name,
+                "shortDescription": {"text": cls.summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results: List[Dict[str, object]] = []
+    for diagnostic in sorted(diagnostics):
+        results.append(
+            {
+                "ruleId": diagnostic.code,
+                "level": "error",
+                "message": {"text": diagnostic.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": _uri(diagnostic.path)},
+                            "region": {
+                                "startLine": max(diagnostic.line, 1),
+                                "startColumn": max(diagnostic.col, 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -33,7 +33,14 @@ back to numpy and publishes an obs counter rather than failing a run.
 A second value flag, ``obs_sample_hz``, sets the continuous-telemetry
 sample rate (``"0"`` = off, the default; ``REPRO_OBS_SAMPLE_HZ`` env
 preset) consumed by :mod:`repro.obs.timeseries` — it lives here so the
-rate is stamped into manifests alongside the dispatch flags.
+rate is stamped into manifests alongside the dispatch flags.  A third,
+``sanitize`` (``"0"``/``"1"``; ``REPRO_SANITIZE`` env preset /
+``repro5g --sanitize``), arms the numeric sanitizer: every backend
+primitive is wrapped with NaN/Inf guards and forward/backward integrity
+checks (see :mod:`repro.sanitize`).  It is stored as a string flag —
+not a boolean — because, like ``backend``, it selects *which* backend
+object :mod:`repro.backends` resolves, and the canonical ``"0"``/``"1"``
+spelling keeps manifests and hashes stable.
 
 The same module owns the repo's one canonical content-hash helper,
 :func:`canonical_hash` (sorted-key compact JSON → SHA-256), used by the
@@ -69,7 +76,7 @@ FLAG_NAMES = ("arena", "batched_cc", "fused_kernels", "vectorized_radio")
 #: :mod:`repro.obs.timeseries`).  Both are stored as canonical strings
 #: so the flag machinery (mirrors, manifests, hashing) stays uniform;
 #: :func:`obs_sample_hz` exposes the parsed float.
-VALUE_FLAG_NAMES = ("backend", "obs_sample_hz")
+VALUE_FLAG_NAMES = ("backend", "obs_sample_hz", "sanitize")
 
 #: every flag — boolean and value — in stable (sorted) order.
 ALL_FLAG_NAMES = tuple(sorted(FLAG_NAMES + VALUE_FLAG_NAMES))
@@ -88,10 +95,16 @@ DEFAULT_BACKEND = "numpy"
 #: and :func:`repro.obs.sample_window` hands back a shared null object.
 DEFAULT_OBS_SAMPLE_HZ = "0"
 
+#: the numeric sanitizer is off by default: production hot paths pay
+#: zero per-primitive overhead unless ``REPRO_SANITIZE=1`` /
+#: ``--sanitize`` arms the guards.
+DEFAULT_SANITIZE = "0"
+
 #: defaults for the string-valued flags (booleans default to ``True``).
 _VALUE_FLAG_DEFAULTS: Dict[str, str] = {
     "backend": DEFAULT_BACKEND,
     "obs_sample_hz": DEFAULT_OBS_SAMPLE_HZ,
+    "sanitize": DEFAULT_SANITIZE,
 }
 
 
@@ -103,6 +116,10 @@ def _env_obs_sample_hz() -> str:
     return os.environ.get("REPRO_OBS_SAMPLE_HZ", "").strip() or DEFAULT_OBS_SAMPLE_HZ
 
 
+def _env_sanitize() -> str:
+    return os.environ.get("REPRO_SANITIZE", "").strip() or DEFAULT_SANITIZE
+
+
 def _canonical_hz(raw: object) -> str:
     """Validate and canonicalize a sample-rate flag value (``"2.5"``)."""
     try:
@@ -112,6 +129,30 @@ def _canonical_hz(raw: object) -> str:
     if not (0.0 <= hz < float("inf")):
         raise ValueError(f"obs_sample_hz must be a finite rate >= 0, got {raw!r}")
     return format(hz, "g")
+
+
+#: accepted spellings for the ``sanitize`` flag, canonicalized to "0"/"1".
+_SANITIZE_SPELLINGS = {
+    "0": "0",
+    "false": "0",
+    "off": "0",
+    "no": "0",
+    "1": "1",
+    "true": "1",
+    "on": "1",
+    "yes": "1",
+}
+
+
+def _canonical_sanitize(raw: object) -> str:
+    """Validate and canonicalize a sanitize flag value to ``"0"``/``"1"``."""
+    if raw is True or raw is False:
+        return "1" if raw else "0"
+    text = str(raw).strip().lower()
+    try:
+        return _SANITIZE_SPELLINGS[text]
+    except KeyError:
+        raise ValueError(f"sanitize must be one of 0/1/on/off/true/false, got {raw!r}") from None
 
 
 def default_flags() -> Dict[str, object]:
@@ -126,6 +167,7 @@ def _initial_flags() -> Dict[str, object]:
     values = default_flags()
     values["backend"] = _env_backend()
     values["obs_sample_hz"] = _canonical_hz(_env_obs_sample_hz())
+    values["sanitize"] = _canonical_sanitize(_env_sanitize())
     return values
 
 
@@ -141,6 +183,8 @@ def _check_name(name: str) -> None:
 def _coerce(name: str, value: object) -> object:
     if name == "obs_sample_hz":
         return _canonical_hz(value)
+    if name == "sanitize":
+        return _canonical_sanitize(value)
     if name in VALUE_FLAG_NAMES:
         text = str(value).strip().lower()
         if not text:
@@ -175,6 +219,17 @@ def obs_sample_hz() -> float:
     :mod:`repro.obs` instead of calling this per sample.
     """
     return float(str(_FLAGS["obs_sample_hz"]))
+
+
+def sanitize_enabled() -> bool:
+    """Whether the numeric sanitizer is armed (``sanitize`` flag == "1").
+
+    Hot callers never query this per primitive call: when the flag
+    flips, :mod:`repro.backends` swaps the *resolved backend object*
+    for a sanitizer-wrapped twin (see :mod:`repro.sanitize`), so the
+    dispatch layer pays nothing while the flag is off.
+    """
+    return str(_FLAGS["sanitize"]) == "1"
 
 
 def synthesis_fingerprint() -> Dict[str, object]:

@@ -1,9 +1,11 @@
 """Tests for :mod:`repro.lintkit` — the AST invariant checker.
 
-Per rule RL001–RL006: one snippet that must pass and one that must
+Per rule RL001–RL007: one snippet that must pass and one that must
 fail.  Plus the two repo-level gates: ``src/repro`` lints clean
 (self-lint) and the checked-in obs catalog matches the harvest
-(catalog drift).
+(catalog drift).  The whole-program rules (RL008–RL012), incremental
+cache, SARIF output and ``--changed-only`` are covered by
+tests/test_lintkit_project.py.
 """
 
 import json
@@ -343,8 +345,8 @@ def test_fix_catalog_preserves_manual_section(tmp_path):
 # registry, runner and CLI plumbing
 
 
-def test_registry_has_all_seven_rules():
-    assert list(registered_checkers()) == [f"RL00{i}" for i in range(1, 8)]
+def test_registry_has_all_twelve_rules():
+    assert list(registered_checkers()) == [f"RL{i:03d}" for i in range(1, 13)]
 
 
 def test_unknown_rule_code_raises():

@@ -300,8 +300,8 @@ class TestManifest:
         assert manifest["metrics"]["counters"]["train.epochs"] == 4.0
         assert manifest["history"]["train_loss"] == [1.0, 0.5]
         assert set(manifest["kernel_paths"]) == {
-            "arena", "backend", "backend_resolved",
-            "fused_kernels", "batched_cc", "obs_sample_hz", "vectorized_radio",
+            "arena", "backend", "backend_resolved", "fused_kernels",
+            "batched_cc", "obs_sample_hz", "sanitize", "vectorized_radio",
         }
         assert manifest["kernel_paths"]["backend"] == "numpy"
         assert manifest["kernel_paths"]["backend_resolved"] == "numpy"

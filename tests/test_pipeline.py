@@ -106,6 +106,7 @@ class TestExperimentConfig:
             "batched_cc": True,
             "fused_kernels": False,
             "obs_sample_hz": "0",
+            "sanitize": "0",
             "vectorized_radio": True,
         }
 
